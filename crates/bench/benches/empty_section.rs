@@ -1,0 +1,31 @@
+//! Figure 10 as a Criterion micro-benchmark: the empty synchronized
+//! block under every lock implementation and ablation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solero::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
+
+fn bench_strategy<S: SyncStrategy>(c: &mut Criterion, name: &str, s: S) {
+    c.bench_function(&format!("empty/{name}"), |b| {
+        b.iter(|| s.read_section(|_| Ok(())).unwrap())
+    });
+}
+
+fn empty_sections(c: &mut Criterion) {
+    bench_strategy(c, "Lock", LockStrategy::new());
+    bench_strategy(c, "RWLock", RwLockStrategy::new());
+    bench_strategy(c, "SOLERO", SoleroStrategy::new());
+    bench_strategy(c, "Unelided-SOLERO", SoleroStrategy::unelided());
+    bench_strategy(c, "WeakBarrier-SOLERO", SoleroStrategy::weak_barrier());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = empty_sections
+}
+criterion_main!(benches);

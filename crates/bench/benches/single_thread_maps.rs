@@ -1,0 +1,60 @@
+//! Figure 11 as Criterion micro-benchmarks: single-thread map lookups
+//! under each lock implementation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use solero::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
+use solero_workloads::maps::{MapBench, MapConfig, MapKind};
+
+fn bench_map<S: SyncStrategy>(
+    c: &mut Criterion,
+    label: &str,
+    kind: MapKind,
+    writes: u32,
+    make: impl Fn() -> S,
+) {
+    let bench = MapBench::new(MapConfig::paper(kind, writes, 1), make);
+    let mut rng = SmallRng::seed_from_u64(42);
+    c.bench_function(label, |b| b.iter(|| bench.op(0, &mut rng)));
+}
+
+fn maps(c: &mut Criterion) {
+    for (kind, kname) in [(MapKind::Hash, "hashmap"), (MapKind::Tree, "treemap")] {
+        for writes in [0u32, 5] {
+            bench_map(
+                c,
+                &format!("{kname}{writes}/Lock"),
+                kind,
+                writes,
+                LockStrategy::new,
+            );
+            bench_map(
+                c,
+                &format!("{kname}{writes}/RWLock"),
+                kind,
+                writes,
+                RwLockStrategy::new,
+            );
+            bench_map(
+                c,
+                &format!("{kname}{writes}/SOLERO"),
+                kind,
+                writes,
+                SoleroStrategy::new,
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = maps
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! `reproduce` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [--quick] [table1|fig10|...|fig16|ablations|all]...
+//! ```
+//!
+//! Prints each experiment as an aligned text table and writes a CSV per
+//! table into `results/`.
+
+use std::path::PathBuf;
+
+use solero_bench::figures::{self, HarnessConfig};
+use solero_bench::report::Table;
+
+fn emit(tables: &[Table], dir: &PathBuf, stem: &str) {
+    for (i, t) in tables.iter().enumerate() {
+        print!("{}", t.render());
+        let name = if tables.len() == 1 {
+            format!("{stem}.csv")
+        } else {
+            format!("{stem}_{}.csv", (b'a' + i as u8) as char)
+        };
+        if let Err(e) = t.write_csv(dir, &name) {
+            eprintln!("warning: could not write {name}: {e}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut targets: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = [
+            "table1", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "ablations", "latency",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    let h = HarnessConfig { quick };
+    let dir = PathBuf::from("results");
+    println!(
+        "SOLERO reproduction harness ({} protocol); results CSVs in {}/",
+        if quick { "quick" } else { "paper" },
+        dir.display()
+    );
+    for t in &targets {
+        match t.as_str() {
+            "table1" => emit(&[figures::table1(&h)], &dir, "table1"),
+            "fig10" => emit(&[figures::fig10(&h)], &dir, "fig10"),
+            "fig11" => emit(&[figures::fig11(&h)], &dir, "fig11"),
+            "fig12" => emit(&figures::fig12(&h), &dir, "fig12"),
+            "fig13" => emit(&figures::fig13(&h), &dir, "fig13"),
+            "fig14" => emit(&[figures::fig14(&h)], &dir, "fig14"),
+            "fig15" => emit(&[figures::fig15(&h)], &dir, "fig15"),
+            "fig16" => emit(&[figures::fig16(&h)], &dir, "fig16"),
+            "latency" => emit(&[figures::latency(&h)], &dir, "latency"),
+            "ablations" => {
+                emit(&[figures::ablation_fallback(&h)], &dir, "ablation_fallback");
+                emit(&[figures::ablation_checkpoint(&h)], &dir, "ablation_checkpoint");
+            }
+            other => eprintln!("unknown target: {other}"),
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! `JHashMap` — a `java.util.HashMap`-shaped chained hash table on the
+//! shadow heap.
+//!
+//! Layout (all on the heap, so speculative readers traverse the same
+//! pointer graph a Java reader would):
+//!
+//! ```text
+//! MAP object:   [table: ref TABLE, size: i64, threshold: i64]
+//! TABLE object: [bucket 0: ref NODE, bucket 1, ...]   (len = capacity)
+//! NODE object:  [hash, key, value, next: ref NODE]
+//! ```
+//!
+//! `get` is read-only: it never touches the map's lock state or mutates
+//! the heap, and it polls the validation [`Checkpoint`] on every chain
+//! step so an inconsistent traversal (e.g. a cycle created by a racing
+//! `resize`) cannot loop forever. `put`/`remove`/`resize` are
+//! writer-side and must run under the evaluated lock.
+
+use solero::Checkpoint;
+use solero_heap::{ClassId, Fault, Heap, ObjRef};
+
+/// Class id of the map header object.
+pub const MAP_CLASS: ClassId = ClassId::new(10);
+/// Class id of bucket tables.
+pub const TABLE_CLASS: ClassId = ClassId::new(11);
+/// Class id of chain nodes.
+pub const NODE_CLASS: ClassId = ClassId::new(12);
+
+const F_TABLE: u32 = 0;
+const F_SIZE: u32 = 1;
+const F_THRESHOLD: u32 = 2;
+const MAP_FIELDS: u32 = 3;
+
+const N_HASH: u32 = 0;
+const N_KEY: u32 = 1;
+const N_VALUE: u32 = 2;
+const N_NEXT: u32 = 3;
+const NODE_FIELDS: u32 = 4;
+
+/// Java's default load factor.
+const LOAD_FACTOR_NUM: u64 = 3;
+const LOAD_FACTOR_DEN: u64 = 4;
+
+/// Spreads a 64-bit key into a bucket hash, like `HashMap.hash()`
+/// (xor-shift of the high bits) extended to 64 bits.
+fn spread(key: i64) -> u64 {
+    let h = key as u64;
+    let h = h ^ (h >> 33);
+    let h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+/// A `java.util.HashMap<long, long>` equivalent on the shadow heap.
+///
+/// # Examples
+///
+/// ```
+/// use solero::NullCheckpoint;
+/// use solero_collections::JHashMap;
+/// use solero_heap::Heap;
+///
+/// let heap = Heap::new(1 << 16);
+/// let map = JHashMap::new(&heap, 16).unwrap();
+/// map.put(&heap, 1, 100).unwrap();
+/// map.put(&heap, 2, 200).unwrap();
+/// let mut ck = NullCheckpoint;
+/// assert_eq!(map.get(&heap, 1, &mut ck).unwrap(), Some(100));
+/// assert_eq!(map.get(&heap, 3, &mut ck).unwrap(), None);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct JHashMap {
+    root: ObjRef,
+}
+
+impl JHashMap {
+    /// Creates an empty map with the given initial capacity (rounded up
+    /// to a power of two).
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap exhaustion as [`Fault::StaleHandle`]-free
+    /// allocation errors surfaced by [`solero_heap::OutOfMemory`] being
+    /// mapped to a panic; construction happens at setup time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap cannot hold the initial table.
+    pub fn new(heap: &Heap, capacity: usize) -> Result<Self, Fault> {
+        let cap = capacity.next_power_of_two().max(2) as u32;
+        let root = heap.alloc(MAP_CLASS, MAP_FIELDS).expect("heap exhausted");
+        let table = heap.alloc(TABLE_CLASS, cap).expect("heap exhausted");
+        heap.store_ref(root, F_TABLE, table)?;
+        heap.store_i64(root, F_SIZE, 0)?;
+        heap.store_i64(
+            root,
+            F_THRESHOLD,
+            (cap as u64 * LOAD_FACTOR_NUM / LOAD_FACTOR_DEN) as i64,
+        )?;
+        Ok(JHashMap { root })
+    }
+
+    /// The heap object anchoring this map.
+    pub fn root(&self) -> ObjRef {
+        self.root
+    }
+
+    /// Number of entries (writer-side or validated read).
+    ///
+    /// # Errors
+    ///
+    /// Heap faults on stale speculation.
+    pub fn len(&self, heap: &Heap) -> Result<usize, Fault> {
+        Ok(heap.load_i64(self.root, MAP_CLASS, F_SIZE)?.max(0) as usize)
+    }
+
+    /// True if the map holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Heap faults on stale speculation.
+    pub fn is_empty(&self, heap: &Heap) -> Result<bool, Fault> {
+        Ok(self.len(heap)? == 0)
+    }
+
+    /// Read-only lookup. Safe to call speculatively: every heap access
+    /// is fault-checked and every chain step polls `ck`.
+    ///
+    /// # Errors
+    ///
+    /// Heap faults ([`Fault::NullPointer`], [`Fault::ClassCast`], ...)
+    /// and [`Fault::Inconsistent`] from the check-point. Under a
+    /// SOLERO read section these trigger re-execution, not failure.
+    pub fn get(
+        &self,
+        heap: &Heap,
+        key: i64,
+        ck: &mut dyn Checkpoint,
+    ) -> Result<Option<i64>, Fault> {
+        let table = heap.load_ref(self.root, MAP_CLASS, F_TABLE)?;
+        if table.is_null() {
+            return Err(Fault::NullPointer);
+        }
+        let cap = heap.len_of(table)?;
+        if cap == 0 || !cap.is_power_of_two() {
+            // A stale table handle recycled into something odd.
+            return Err(Fault::StaleHandle {
+                handle: table.raw(),
+            });
+        }
+        let idx = (spread(key) & (cap as u64 - 1)) as u32;
+        let mut node = heap.load_ref(table, TABLE_CLASS, idx)?;
+        while !node.is_null() {
+            ck.checkpoint()?;
+            if heap.load_i64(node, NODE_CLASS, N_KEY)? == key {
+                return Ok(Some(heap.load_i64(node, NODE_CLASS, N_VALUE)?));
+            }
+            node = heap.load_ref(node, NODE_CLASS, N_NEXT)?;
+        }
+        Ok(None)
+    }
+
+    /// True if `key` is present (read-only).
+    ///
+    /// # Errors
+    ///
+    /// As [`JHashMap::get`].
+    pub fn contains_key(
+        &self,
+        heap: &Heap,
+        key: i64,
+        ck: &mut dyn Checkpoint,
+    ) -> Result<bool, Fault> {
+        Ok(self.get(heap, key, ck)?.is_some())
+    }
+
+    /// Writer-side insert; returns the previous value if any. Must run
+    /// under the evaluated lock.
+    ///
+    /// # Errors
+    ///
+    /// Writer-side heap faults are genuine errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn put(&self, heap: &Heap, key: i64, value: i64) -> Result<Option<i64>, Fault> {
+        let table = heap.load_ref(self.root, MAP_CLASS, F_TABLE)?;
+        let cap = heap.len_of(table)?;
+        let hash = spread(key);
+        let idx = (hash & (cap as u64 - 1)) as u32;
+        // Search the chain for an existing key.
+        let head = heap.load_ref(table, TABLE_CLASS, idx)?;
+        let mut node = head;
+        while !node.is_null() {
+            if heap.load_i64(node, NODE_CLASS, N_KEY)? == key {
+                let old = heap.load_i64(node, NODE_CLASS, N_VALUE)?;
+                heap.store_i64(node, N_VALUE, value)?;
+                return Ok(Some(old));
+            }
+            node = heap.load_ref(node, NODE_CLASS, N_NEXT)?;
+        }
+        // Prepend a new node (Java 7-style head insertion keeps the
+        // write visible in one pointer store).
+        let fresh = heap.alloc(NODE_CLASS, NODE_FIELDS).expect("heap exhausted");
+        heap.store(fresh, N_HASH, hash)?;
+        heap.store_i64(fresh, N_KEY, key)?;
+        heap.store_i64(fresh, N_VALUE, value)?;
+        heap.store_ref(fresh, N_NEXT, head)?;
+        heap.store_ref(table, idx, fresh)?;
+        let size = heap.load_i64(self.root, MAP_CLASS, F_SIZE)? + 1;
+        heap.store_i64(self.root, F_SIZE, size)?;
+        if size > heap.load_i64(self.root, MAP_CLASS, F_THRESHOLD)? {
+            self.resize(heap)?;
+        }
+        Ok(None)
+    }
+
+    /// Writer-side removal; returns the removed value if any.
+    ///
+    /// # Errors
+    ///
+    /// Writer-side heap faults are genuine errors.
+    pub fn remove(&self, heap: &Heap, key: i64) -> Result<Option<i64>, Fault> {
+        let table = heap.load_ref(self.root, MAP_CLASS, F_TABLE)?;
+        let cap = heap.len_of(table)?;
+        let idx = (spread(key) & (cap as u64 - 1)) as u32;
+        let mut prev = ObjRef::NULL;
+        let mut node = heap.load_ref(table, TABLE_CLASS, idx)?;
+        while !node.is_null() {
+            let next = heap.load_ref(node, NODE_CLASS, N_NEXT)?;
+            if heap.load_i64(node, NODE_CLASS, N_KEY)? == key {
+                let old = heap.load_i64(node, NODE_CLASS, N_VALUE)?;
+                if prev.is_null() {
+                    heap.store_ref(table, idx, next)?;
+                } else {
+                    heap.store_ref(prev, N_NEXT, next)?;
+                }
+                heap.free(node); // recycled storage → stale readers fault
+                let size = heap.load_i64(self.root, MAP_CLASS, F_SIZE)? - 1;
+                heap.store_i64(self.root, F_SIZE, size)?;
+                return Ok(Some(old));
+            }
+            prev = node;
+            node = next;
+        }
+        Ok(None)
+    }
+
+    /// Doubles the table, relinking every node — the operation whose
+    /// races with speculative readers the recovery machinery exists for.
+    fn resize(&self, heap: &Heap) -> Result<(), Fault> {
+        let old_table = heap.load_ref(self.root, MAP_CLASS, F_TABLE)?;
+        let old_cap = heap.len_of(old_table)?;
+        let new_cap = old_cap * 2;
+        let new_table = heap.alloc(TABLE_CLASS, new_cap).expect("heap exhausted");
+        for b in 0..old_cap {
+            let mut node = heap.load_ref(old_table, TABLE_CLASS, b)?;
+            while !node.is_null() {
+                let next = heap.load_ref(node, NODE_CLASS, N_NEXT)?;
+                let hash = heap.load_untyped(node, N_HASH)?;
+                let idx = (hash & (new_cap as u64 - 1)) as u32;
+                let head = heap.load_ref(new_table, TABLE_CLASS, idx)?;
+                heap.store_ref(node, N_NEXT, head)?;
+                heap.store_ref(new_table, idx, node)?;
+                node = next;
+            }
+        }
+        heap.store_ref(self.root, F_TABLE, new_table)?;
+        heap.store_i64(
+            self.root,
+            F_THRESHOLD,
+            (new_cap as u64 * LOAD_FACTOR_NUM / LOAD_FACTOR_DEN) as i64,
+        )?;
+        heap.free(old_table);
+        Ok(())
+    }
+
+    /// Collects all entries in unspecified order (read-only, checkpointed).
+    ///
+    /// # Errors
+    ///
+    /// As [`JHashMap::get`].
+    pub fn entries(
+        &self,
+        heap: &Heap,
+        ck: &mut dyn Checkpoint,
+    ) -> Result<Vec<(i64, i64)>, Fault> {
+        let table = heap.load_ref(self.root, MAP_CLASS, F_TABLE)?;
+        let cap = heap.len_of(table)?;
+        let mut out = Vec::new();
+        for b in 0..cap {
+            let mut node = heap.load_ref(table, TABLE_CLASS, b)?;
+            while !node.is_null() {
+                ck.checkpoint()?;
+                out.push((
+                    heap.load_i64(node, NODE_CLASS, N_KEY)?,
+                    heap.load_i64(node, NODE_CLASS, N_VALUE)?,
+                ));
+                node = heap.load_ref(node, NODE_CLASS, N_NEXT)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solero::NullCheckpoint;
+
+    fn setup() -> (Heap, JHashMap) {
+        let heap = Heap::new(1 << 18);
+        let map = JHashMap::new(&heap, 16).unwrap();
+        (heap, map)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (heap, map) = setup();
+        let mut ck = NullCheckpoint;
+        assert_eq!(map.put(&heap, 5, 50).unwrap(), None);
+        assert_eq!(map.put(&heap, 5, 55).unwrap(), Some(50));
+        assert_eq!(map.get(&heap, 5, &mut ck).unwrap(), Some(55));
+        assert_eq!(map.get(&heap, 6, &mut ck).unwrap(), None);
+        assert_eq!(map.len(&heap).unwrap(), 1);
+    }
+
+    #[test]
+    fn remove_relinks_chain() {
+        let (heap, map) = setup();
+        let mut ck = NullCheckpoint;
+        for k in 0..100 {
+            map.put(&heap, k, k * 10).unwrap();
+        }
+        for k in (0..100).step_by(2) {
+            assert_eq!(map.remove(&heap, k).unwrap(), Some(k * 10));
+        }
+        assert_eq!(map.remove(&heap, 2).unwrap(), None);
+        for k in 0..100 {
+            let expect = if k % 2 == 0 { None } else { Some(k * 10) };
+            assert_eq!(map.get(&heap, k, &mut ck).unwrap(), expect, "key {k}");
+        }
+        assert_eq!(map.len(&heap).unwrap(), 50);
+    }
+
+    #[test]
+    fn resize_preserves_entries() {
+        let (heap, map) = setup();
+        let mut ck = NullCheckpoint;
+        for k in 0..1_000 {
+            map.put(&heap, k, -k).unwrap();
+        }
+        for k in 0..1_000 {
+            assert_eq!(map.get(&heap, k, &mut ck).unwrap(), Some(-k));
+        }
+        assert_eq!(map.len(&heap).unwrap(), 1_000);
+    }
+
+    #[test]
+    fn entries_matches_model() {
+        let (heap, map) = setup();
+        let mut ck = NullCheckpoint;
+        let mut model = std::collections::BTreeMap::new();
+        for k in [3, 1, 4, 1, 5, 9, 2, 6] {
+            map.put(&heap, k, k * k).unwrap();
+            model.insert(k, k * k);
+        }
+        let mut got = map.entries(&heap, &mut ck).unwrap();
+        got.sort_unstable();
+        let want: Vec<_> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn negative_keys_work() {
+        let (heap, map) = setup();
+        let mut ck = NullCheckpoint;
+        map.put(&heap, -7, 1).unwrap();
+        map.put(&heap, i64::MIN, 2).unwrap();
+        map.put(&heap, i64::MAX, 3).unwrap();
+        assert_eq!(map.get(&heap, -7, &mut ck).unwrap(), Some(1));
+        assert_eq!(map.get(&heap, i64::MIN, &mut ck).unwrap(), Some(2));
+        assert_eq!(map.get(&heap, i64::MAX, &mut ck).unwrap(), Some(3));
+    }
+}

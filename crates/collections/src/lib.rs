@@ -1,0 +1,49 @@
+//! Java-style collections on the shadow heap.
+//!
+//! The paper's HashMap and TreeMap micro-benchmarks access a single
+//! `java.util.HashMap` / `java.util.TreeMap` inside synchronized blocks.
+//! These are their shadow-heap equivalents: the entire pointer graph —
+//! tables, chain nodes, tree nodes — lives in a [`solero_heap::Heap`],
+//! so speculative readers traverse it exactly as a JVM reader would,
+//! observing stale or torn state as recoverable faults
+//! ([`solero_heap::Fault`]) rather than undefined behaviour.
+//!
+//! * [`JHashMap`] — chained hash table with Java's 0.75 load-factor
+//!   resize policy;
+//! * [`JTreeMap`] — red-black tree (insertion and deletion fix-ups
+//!   ported from `java.util.TreeMap`).
+//!
+//! Read-only operations (`get`, `contains_key`, `first_key`,
+//! `floor_key`, `entries`) accept a [`solero::Checkpoint`] and poll it
+//! at every loop back-edge, mirroring the paper's JIT-inserted
+//! asynchronous check-points that break inconsistent infinite loops.
+//! Mutating operations must run under whichever lock strategy is being
+//! evaluated.
+//!
+//! # Examples
+//!
+//! A read-mostly map shared between SOLERO readers and writers:
+//!
+//! ```
+//! use solero::{Fault, SoleroLock};
+//! use solero_collections::JHashMap;
+//! use solero_heap::Heap;
+//!
+//! let heap = Heap::new(1 << 16);
+//! let map = JHashMap::new(&heap, 64)?;
+//! let lock = SoleroLock::new();
+//!
+//! lock.write(|| map.put(&heap, 7, 700)).unwrap();
+//! let v = lock.read_only(|session| map.get(&heap, 7, session))?;
+//! assert_eq!(v, Some(700));
+//! # Ok::<(), Fault>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hashmap;
+mod treemap;
+
+pub use hashmap::{JHashMap, MAP_CLASS, NODE_CLASS, TABLE_CLASS};
+pub use treemap::{JTreeMap, TMAP_CLASS, TNODE_CLASS};

@@ -1,0 +1,107 @@
+//! SOLERO configuration knobs.
+//!
+//! The defaults match the paper's evaluated configuration; the non-
+//! default values exist to reproduce its ablation measurements
+//! (`Unelided-SOLERO`, `WeakBarrier-SOLERO`) and to make tests
+//! deterministic.
+
+use solero_runtime::fence::BarrierMode;
+use solero_runtime::spin::SpinConfig;
+
+/// Whether read-only critical sections elide the lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ElisionMode {
+    /// Elide writes to the lock word for read-only sections (SOLERO).
+    #[default]
+    Elide,
+    /// Execute read-only sections as writing sections — the paper's
+    /// `Unelided-SOLERO` ablation, which bounds SOLERO's overhead over
+    /// the conventional lock (measured < 1.4%).
+    NoElide,
+}
+
+/// Tuning knobs for a [`SoleroLock`](crate::SoleroLock).
+///
+/// # Examples
+///
+/// ```
+/// use solero::{SoleroConfig, ElisionMode};
+/// use solero_runtime::fence::BarrierMode;
+///
+/// let paper_default = SoleroConfig::default();
+/// assert_eq!(paper_default.fallback_threshold, 1);
+///
+/// let weak_barrier = SoleroConfig {
+///     barrier: BarrierMode::Weak,
+///     ..SoleroConfig::default()
+/// };
+/// assert_eq!(weak_barrier.elision, ElisionMode::Elide);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoleroConfig {
+    /// Elide read-only sections or not.
+    pub elision: ElisionMode,
+    /// Memory fences on the read-only fast path (§3.4). `Weak`
+    /// reproduces the incorrect-fence `WeakBarrier-SOLERO` measurement.
+    pub barrier: BarrierMode,
+    /// Speculative failures tolerated before a read-only section falls
+    /// back to acquiring the lock. The paper uses 1: "the fallback
+    /// occurs after one failure".
+    pub fallback_threshold: u32,
+    /// Three-tier contention loop sizes (Figure 3 / Figure 8).
+    pub spin: SpinConfig,
+    /// Deterministic validation period at check-points: in addition to
+    /// asynchronous events, every `checkpoint_period`-th poll validates.
+    /// `0` disables the deterministic fallback (events only).
+    pub checkpoint_period: u64,
+}
+
+impl Default for SoleroConfig {
+    fn default() -> Self {
+        SoleroConfig {
+            elision: ElisionMode::Elide,
+            barrier: BarrierMode::Strong,
+            fallback_threshold: 1,
+            spin: SpinConfig::default(),
+            checkpoint_period: 1024,
+        }
+    }
+}
+
+impl SoleroConfig {
+    /// The paper's `Unelided-SOLERO` ablation.
+    pub fn unelided() -> Self {
+        SoleroConfig {
+            elision: ElisionMode::NoElide,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's `WeakBarrier-SOLERO` ablation (incorrect fences,
+    /// measured to isolate memory-ordering overhead).
+    pub fn weak_barrier() -> Self {
+        SoleroConfig {
+            barrier: BarrierMode::Weak,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SoleroConfig::default();
+        assert_eq!(c.elision, ElisionMode::Elide);
+        assert_eq!(c.barrier, BarrierMode::Strong);
+        assert_eq!(c.fallback_threshold, 1);
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert_eq!(SoleroConfig::unelided().elision, ElisionMode::NoElide);
+        assert_eq!(SoleroConfig::weak_barrier().barrier, BarrierMode::Weak);
+    }
+}

@@ -1,0 +1,73 @@
+//! **SOLERO** — *Software Optimistic Lock Elision for Read-Only critical
+//! sections* (Nakaike & Michael, PLDI 2010), reproduced in Rust.
+//!
+//! SOLERO is a drop-in replacement for the conventional Java monitor
+//! whose **read-only critical sections never write the lock word**.
+//! While the lock is free its word holds a sequence counter; every
+//! writing critical section leaves the counter at a new value, so a
+//! read-only section is consistent exactly when the word was "free" at
+//! entry and unchanged at exit. Unlike a bare Linux-style seqlock,
+//! SOLERO keeps the **full monitor feature set** — reentrancy, bi-modal
+//! inflation to OS monitors, contention management — and **recovers**
+//! from the faults speculation can induce (null dereferences, division
+//! by zero, infinite loops) by validating the captured lock value and
+//! re-executing, falling back to real acquisition after repeated
+//! failures.
+//!
+//! # Quick start
+//!
+//! ```
+//! use solero::{Fault, SoleroLock};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let lock = SoleroLock::new();
+//! let balance = AtomicU64::new(100);
+//!
+//! // Writers acquire the lock and advance the sequence counter:
+//! lock.write(|| balance.store(150, Ordering::Release));
+//!
+//! // Readers validate instead of acquiring — no lock-word write, no
+//! // cache-line ping-pong between concurrent readers:
+//! let seen = lock.read_only(|_session| {
+//!     Ok::<_, Fault>(balance.load(Ordering::Acquire))
+//! })?;
+//! assert_eq!(seen, 150);
+//! # Ok::<(), Fault>(())
+//! ```
+//!
+//! # Crate map
+//!
+//! * [`SoleroLock`] — the lock: write paths (paper Figure 6), read-only
+//!   elision (Figures 7–9), read-mostly upgrade (Figure 17);
+//! * [`SoleroConfig`] / [`ElisionMode`] — the paper's ablations
+//!   (`Unelided-SOLERO`, `WeakBarrier-SOLERO`);
+//! * [`ReadSession`] / [`MostlySession`] / [`Checkpoint`] /
+//!   [`WriteIntent`] — contexts handed to critical-section closures,
+//!   carrying validation check-points and the in-place upgrade;
+//! * [`SyncStrategy`] with [`LockStrategy`], [`RwLockStrategy`],
+//!   [`SoleroStrategy`] — the three lock implementations the paper
+//!   compares, behind one interface so workloads are shared;
+//! * [`Fault`] — the runtime-exception model used for speculative-fault
+//!   recovery (§3.3).
+//!
+//! The companion crates build the rest of the paper's world:
+//! `solero-heap` (a speculation-safe shadow heap), `solero-collections`
+//! (HashMap/TreeMap), `solero-jit` (read-only classification of
+//! synchronized regions), `solero-workloads` and `solero-bench` (the
+//! evaluation).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod lock;
+mod read;
+mod session;
+mod strategy;
+
+pub use config::{ElisionMode, SoleroConfig};
+pub use lock::{SoleroLock, SoleroWriteGuard, WriteTicket};
+pub use session::{Checkpoint, MostlySession, NullCheckpoint, ReadSession, WriteIntent};
+pub use strategy::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
+
+pub use solero_runtime::fault::Fault;

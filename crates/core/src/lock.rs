@@ -1,0 +1,612 @@
+//! The SOLERO lock: state, write-side paths, inflation and deflation.
+//!
+//! The write-side fast paths follow the paper's Figure 6:
+//!
+//! * **acquire**: load the word; if the low three bits are clear, CAS in
+//!   `tid | LOCK_BIT`, keeping the pre-CAS word (the *local lock
+//!   variable* `v1`) until release; otherwise take the slow path;
+//! * **release**: if `(word & 0xff) == LOCK_BIT`, store `v1 + 0x100` —
+//!   the sequence counter advances so concurrent speculative readers
+//!   observe a changed value.
+//!
+//! The read-side paths (Figures 7–9 and the Figure 17 read-mostly
+//! extension) live in [`crate::read`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use solero_runtime::osmonitor::{MonitorTable, OsMonitor};
+use solero_runtime::spin::Probe;
+use solero_runtime::stats::LockStats;
+use solero_runtime::thread::ThreadId;
+use solero_runtime::word::{
+    SoleroWord, COUNTER_STEP, FLC_BIT, SOLERO_RECURSION_MAX, SOLERO_RECURSION_STEP,
+};
+
+use crate::config::SoleroConfig;
+
+/// Timed-wait interval for FLC waiters (see
+/// `OsMonitor::wait_timeout` for why the wait is timed).
+pub(crate) const FLC_RECHECK: Duration = Duration::from_millis(1);
+
+/// The SOLERO lock (PLDI 2010): a drop-in replacement for the
+/// conventional Java monitor whose read-only critical sections do not
+/// write the lock word.
+///
+/// # Examples
+///
+/// ```
+/// use solero::SoleroLock;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let lock = SoleroLock::new();
+/// let data = AtomicU64::new(0);
+///
+/// // Writing critical section: acquires the lock.
+/// lock.write(|| data.store(42, Ordering::Release));
+///
+/// // Read-only critical section: elides the lock.
+/// let seen = lock
+///     .read_only(|_s| Ok::<_, solero::Fault>(data.load(Ordering::Acquire)))
+///     .unwrap();
+/// assert_eq!(seen, 42);
+/// assert_eq!(lock.stats().snapshot().elision_success, 1);
+/// ```
+#[derive(Debug)]
+pub struct SoleroLock {
+    /// The flat-lock word (Figure 5 layout).
+    pub(crate) word: AtomicU64,
+    /// The counter word displaced by the current flat owner's acquiring
+    /// CAS. Written only by the flat owner; read when inflation must
+    /// reconstruct the counter (recursion saturation). The paper keeps
+    /// this value in a register/local ("local lock variable"); the
+    /// inflation paths need it out-of-band.
+    pub(crate) saved_v1: AtomicU64,
+    pub(crate) config: SoleroConfig,
+    pub(crate) stats: LockStats,
+}
+
+impl Default for SoleroLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Opaque token for a writing critical section: carries the paper's
+/// *local lock variable* `v1` from acquisition to release.
+#[derive(Debug)]
+#[must_use = "a write ticket must be passed back to exit_write"]
+pub struct WriteTicket {
+    pub(crate) v1: u64,
+}
+
+/// RAII guard returned by [`SoleroLock::lock_write`].
+#[derive(Debug)]
+pub struct SoleroWriteGuard<'a> {
+    lock: &'a SoleroLock,
+    tid: ThreadId,
+    v1: u64,
+}
+
+impl Drop for SoleroWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.exit_write(self.tid, WriteTicket { v1: self.v1 });
+    }
+}
+
+impl SoleroLock {
+    /// Creates an unlocked lock with the paper's default configuration.
+    pub fn new() -> Self {
+        Self::with_config(SoleroConfig::default())
+    }
+
+    /// Creates an unlocked lock with explicit configuration.
+    pub fn with_config(config: SoleroConfig) -> Self {
+        SoleroLock {
+            word: AtomicU64::new(SoleroWord::INIT.raw()),
+            saved_v1: AtomicU64::new(0),
+            config,
+            stats: LockStats::default(),
+        }
+    }
+
+    /// The lock's configuration.
+    pub fn config(&self) -> &SoleroConfig {
+        &self.config
+    }
+
+    /// Per-lock statistics counters.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// The current raw word (diagnostics and tests).
+    pub fn raw_word(&self) -> SoleroWord {
+        SoleroWord(self.word.load(Ordering::Acquire))
+    }
+
+    /// True if the lock is currently in fat (inflated) mode.
+    pub fn is_inflated(&self) -> bool {
+        self.raw_word().is_inflated()
+    }
+
+    /// True if any thread holds the lock (thin or fat).
+    pub fn is_locked(&self) -> bool {
+        let w = self.raw_word();
+        if w.is_inflated() {
+            self.monitor().is_owned()
+        } else {
+            w.is_held_flat()
+        }
+    }
+
+    /// True if `tid` holds the lock.
+    pub fn holds(&self, tid: ThreadId) -> bool {
+        let w = self.raw_word();
+        if w.is_inflated() {
+            self.monitor().owned_by(tid)
+        } else {
+            w.tid() == Some(tid)
+        }
+    }
+
+    /// True if the calling thread holds the lock.
+    pub fn held_by_current(&self) -> bool {
+        self.holds(ThreadId::current())
+    }
+
+    /// Runs `f` as a writing critical section.
+    pub fn write<R>(&self, f: impl FnOnce() -> R) -> R {
+        let tid = ThreadId::current();
+        let t = self.enter_write(tid);
+        let r = f();
+        self.exit_write(tid, t);
+        r
+    }
+
+    /// Acquires the lock for writing, returning a guard.
+    pub fn lock_write(&self) -> SoleroWriteGuard<'_> {
+        let tid = ThreadId::current();
+        let t = self.enter_write(tid);
+        SoleroWriteGuard {
+            lock: self,
+            tid,
+            v1: t.v1,
+        }
+    }
+
+    pub(crate) fn monitor_key(&self) -> usize {
+        &self.word as *const _ as usize
+    }
+
+    pub(crate) fn monitor(&self) -> Arc<OsMonitor> {
+        MonitorTable::global().monitor_for(self.monitor_key())
+    }
+
+    /// Acquires the lock for a writing critical section (Figure 6,
+    /// lines 1–13).
+    pub fn enter_write(&self, tid: ThreadId) -> WriteTicket {
+        self.stats.write_enters.fetch_add(1, Ordering::Relaxed);
+        let v1 = SoleroWord(self.word.load(Ordering::Relaxed));
+        if v1.is_elidable()
+            && self
+                .word
+                .compare_exchange(
+                    v1.raw(),
+                    SoleroWord::held_by(tid).raw(),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+        {
+            self.stats.write_fast.fetch_add(1, Ordering::Relaxed);
+            self.saved_v1.store(v1.raw(), Ordering::Relaxed);
+            return WriteTicket { v1: v1.raw() };
+        }
+        WriteTicket {
+            v1: self.slow_enter_write(tid),
+        }
+    }
+
+    /// Releases a writing critical section (Figure 6, lines 15–21).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `tid` holds the lock.
+    pub fn exit_write(&self, tid: ThreadId, ticket: WriteTicket) {
+        let v2 = SoleroWord(self.word.load(Ordering::Relaxed));
+        if v2.fast_releasable() {
+            debug_assert_eq!(v2.tid(), Some(tid), "release by non-owner");
+            self.word
+                .store(ticket.v1.wrapping_add(COUNTER_STEP), Ordering::Release);
+            return;
+        }
+        self.slow_exit_write(tid, ticket, v2);
+    }
+
+    /// Java-style `Object.wait()`: releases the lock (all recursion
+    /// levels) and parks until notified, then reacquires. Inflates first
+    /// — waiting requires the OS monitor, and the displaced counter set
+    /// at inflation keeps speculative readers correct across the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` does not hold the lock (the analogue of
+    /// `IllegalMonitorStateException`). Never call this from a
+    /// speculative read-only section — the paper's classifier rejects
+    /// such sections precisely because `wait` is a side effect.
+    pub fn wait(&self, tid: ThreadId) {
+        let v = SoleroWord(self.word.load(Ordering::Acquire));
+        if !v.is_inflated() {
+            assert_eq!(v.tid(), Some(tid), "wait without holding the lock");
+            self.inflate_held(tid, v);
+        }
+        let m = self.monitor();
+        assert!(m.owned_by(tid), "wait without holding the lock");
+        m.wait(tid);
+    }
+
+    /// Java-style `Object.notifyAll()`. The caller must hold the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` does not hold the lock.
+    pub fn notify_all(&self, tid: ThreadId) {
+        assert!(self.holds(tid), "notify without holding the lock");
+        self.monitor().notify_all();
+    }
+
+    /// Java-style `Object.notify()`. The caller must hold the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` does not hold the lock.
+    pub fn notify_one(&self, tid: ThreadId) {
+        assert!(self.holds(tid), "notify without holding the lock");
+        self.monitor().notify_one();
+    }
+
+    /// Slow write acquisition: recursion, spinning, FLC, fat mode.
+    /// Returns the local lock variable `v1` (0 when the entry was
+    /// recursive or fat — the release then takes the slow path, exactly
+    /// as the paper's zero local lock value does).
+    #[cold]
+    pub(crate) fn slow_enter_write(&self, tid: ThreadId) -> u64 {
+        loop {
+            let v = SoleroWord(self.word.load(Ordering::Acquire));
+            if v.is_inflated() {
+                if self.enter_fat(tid) {
+                    return 0;
+                }
+                continue;
+            }
+            if v.tid() == Some(tid) {
+                // Recursive flat acquisition.
+                if v.recursion() == SOLERO_RECURSION_MAX {
+                    self.inflate_held(tid, v);
+                    self.monitor().enter(tid); // the new level
+                    return 0;
+                }
+                self.word.fetch_add(SOLERO_RECURSION_STEP, Ordering::Relaxed);
+                self.stats.recursive_enters.fetch_add(1, Ordering::Relaxed);
+                return 0;
+            }
+            if v.is_elidable() {
+                if self
+                    .word
+                    .compare_exchange(
+                        v.raw(),
+                        SoleroWord::held_by(tid).raw(),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    self.saved_v1.store(v.raw(), Ordering::Relaxed);
+                    return v.raw();
+                }
+                continue;
+            }
+            // Held by another thread (or FLC pending): spin, then park.
+            let spun = self.config.spin.run(|| {
+                let v = SoleroWord(self.word.load(Ordering::Acquire));
+                if v.is_elidable() {
+                    if self
+                        .word
+                        .compare_exchange(
+                            v.raw(),
+                            SoleroWord::held_by(tid).raw(),
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        return Probe::Done(Some(v.raw()));
+                    }
+                } else if v.needs_monitor() {
+                    return Probe::Done(None);
+                }
+                Probe::Retry
+            });
+            match spun {
+                Some(Some(v1)) => {
+                    self.saved_v1.store(v1, Ordering::Relaxed);
+                    return v1;
+                }
+                Some(None) | None => {
+                    if self.enter_via_monitor(tid) {
+                        return 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fat-mode entry: take the monitor, then confirm the lock is still
+    /// inflated. Returns `false` if the caller must retry from the top.
+    pub(crate) fn enter_fat(&self, tid: ThreadId) -> bool {
+        let m = self.monitor();
+        m.enter(tid);
+        let v = SoleroWord(self.word.load(Ordering::Acquire));
+        if v.is_inflated() {
+            self.stats.monitor_enters.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            m.exit(tid);
+            false
+        }
+    }
+
+    /// FLC protocol under the monitor; a contender that finds the word
+    /// free inflates the lock and owns it (fat). The displaced counter
+    /// stored in the monitor is the pre-inflation counter plus one step,
+    /// so a later deflation publishes a value no speculative reader can
+    /// still match.
+    pub(crate) fn enter_via_monitor(&self, tid: ThreadId) -> bool {
+        let m = self.monitor();
+        m.enter(tid);
+        loop {
+            let v = SoleroWord(self.word.load(Ordering::Acquire));
+            if v.is_inflated() {
+                self.stats.monitor_enters.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            if !v.is_held_flat() {
+                // Free counter word (FLC bit possibly set): inflate.
+                let displaced = (v.raw() & !FLC_BIT).wrapping_add(COUNTER_STEP);
+                if self
+                    .word
+                    .compare_exchange(
+                        v.raw(),
+                        SoleroWord::inflated(m.id()).raw(),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    m.set_displaced(displaced);
+                    self.stats.inflations.fetch_add(1, Ordering::Relaxed);
+                    self.stats.monitor_enters.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                continue;
+            }
+            // Held flat by another thread: publish contention and park.
+            if v.has_flc()
+                || self
+                    .word
+                    .compare_exchange(
+                        v.raw(),
+                        v.with_flc().raw(),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+            {
+                self.stats.flc_waits.fetch_add(1, Ordering::Relaxed);
+                m.wait_timeout(tid, FLC_RECHECK);
+            }
+        }
+    }
+
+    /// Inflates while `tid` holds the flat lock (recursion saturation),
+    /// transferring the recursion depth onto the monitor. The displaced
+    /// counter is reconstructed from the owner's saved `v1`.
+    pub(crate) fn inflate_held(&self, tid: ThreadId, v: SoleroWord) {
+        debug_assert_eq!(v.tid(), Some(tid));
+        let m = self.monitor();
+        m.enter(tid);
+        for _ in 0..v.recursion() {
+            m.enter(tid);
+        }
+        let displaced = self
+            .saved_v1
+            .load(Ordering::Relaxed)
+            .wrapping_add(COUNTER_STEP);
+        m.set_displaced(displaced);
+        self.word
+            .store(SoleroWord::inflated(m.id()).raw(), Ordering::Release);
+        self.stats.inflations.fetch_add(1, Ordering::Relaxed);
+        m.notify_all();
+    }
+
+    #[cold]
+    fn slow_exit_write(&self, tid: ThreadId, ticket: WriteTicket, v: SoleroWord) {
+        if v.is_inflated() {
+            // Every fat-mode *writing* release advances the displaced
+            // counter so deflation never republishes a captured value.
+            let m = self.monitor();
+            debug_assert!(m.owned_by(tid), "fat release by non-owner");
+            m.bump_displaced();
+            self.exit_fat(tid);
+            return;
+        }
+        debug_assert_eq!(v.tid(), Some(tid), "release by non-owner");
+        if v.recursion() > 0 {
+            self.word.fetch_sub(SOLERO_RECURSION_STEP, Ordering::Release);
+            return;
+        }
+        // FLC set while we held the lock: release under the monitor and
+        // wake the contenders.
+        debug_assert!(v.has_flc());
+        let m = self.monitor();
+        m.enter(tid);
+        self.word
+            .store(ticket.v1.wrapping_add(COUNTER_STEP), Ordering::Release);
+        m.notify_all();
+        m.exit(tid);
+    }
+
+    /// Final fat release: deflates (publishing the displaced counter)
+    /// when the monitor is uncontended.
+    pub(crate) fn exit_fat(&self, tid: ThreadId) {
+        let m = self.monitor();
+        debug_assert!(m.owned_by(tid), "fat release by non-owner");
+        if m.depth(tid) == 1 && m.idle_for_deflation() {
+            self.word.store(m.displaced(), Ordering::Release);
+            self.stats.deflations.fetch_add(1, Ordering::Relaxed);
+            m.notify_all();
+        }
+        m.exit(tid);
+    }
+}
+
+impl Drop for SoleroLock {
+    fn drop(&mut self) {
+        MonitorTable::global().remove(self.monitor_key());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solero_runtime::spin::SpinConfig;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn write_section_advances_counter() {
+        let l = SoleroLock::new();
+        let c0 = l.raw_word().counter().unwrap();
+        l.write(|| {});
+        let c1 = l.raw_word().counter().unwrap();
+        assert_eq!(c1, c0 + 1, "each writing section leaves a new value");
+        l.write(|| {});
+        assert_eq!(l.raw_word().counter().unwrap(), c0 + 2);
+    }
+
+    #[test]
+    fn guard_api_releases_on_drop() {
+        let l = SoleroLock::new();
+        {
+            let _g = l.lock_write();
+            assert!(l.is_locked());
+            assert!(l.held_by_current());
+        }
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn recursion_roundtrip() {
+        let l = SoleroLock::new();
+        let tid = ThreadId::current();
+        let t1 = l.enter_write(tid);
+        let t2 = l.enter_write(tid);
+        let t3 = l.enter_write(tid);
+        assert_eq!(l.raw_word().recursion(), 2);
+        l.exit_write(tid, t3);
+        l.exit_write(tid, t2);
+        assert!(l.is_locked());
+        l.exit_write(tid, t1);
+        assert!(!l.is_locked());
+        assert_eq!(l.raw_word().counter(), Some(1));
+    }
+
+    #[test]
+    fn deep_recursion_inflates_then_deflates_with_fresh_counter() {
+        let l = SoleroLock::new();
+        let tid = ThreadId::current();
+        let before = l.raw_word().counter().unwrap();
+        let depth = (SOLERO_RECURSION_MAX + 4) as usize;
+        let tickets: Vec<_> = (0..=depth).map(|_| l.enter_write(tid)).collect();
+        assert!(l.is_inflated());
+        assert!(l.holds(tid));
+        for t in tickets.into_iter().rev() {
+            l.exit_write(tid, t);
+        }
+        assert!(!l.is_locked());
+        assert!(!l.is_inflated());
+        let after = l.raw_word().counter().unwrap();
+        assert!(after > before, "deflation must publish a fresh counter");
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let l = std::sync::Arc::new(SoleroLock::with_config(SoleroConfig {
+            spin: SpinConfig {
+                tier1: 4,
+                tier2: 8,
+                tier3: 2,
+            },
+            ..SoleroConfig::default()
+        }));
+        let counter = std::sync::Arc::new(AtomicU32::new(0));
+        const THREADS: usize = 8;
+        const ITERS: u32 = 2_000;
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let l = std::sync::Arc::clone(&l);
+            let c = std::sync::Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ITERS {
+                    l.write(|| {
+                        let v = c.load(Ordering::Relaxed);
+                        std::hint::black_box(v);
+                        c.store(v + 1, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS as u32 * ITERS);
+    }
+
+    #[test]
+    fn contention_goes_through_monitor_and_counter_still_advances() {
+        let l = std::sync::Arc::new(SoleroLock::with_config(SoleroConfig {
+            spin: SpinConfig::immediate(),
+            ..SoleroConfig::default()
+        }));
+        let before = l.raw_word().counter().unwrap();
+        let tid = ThreadId::current();
+        let t = l.enter_write(tid);
+        let l2 = std::sync::Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            l2.write(|| {});
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        l.exit_write(tid, t);
+        h.join().unwrap();
+        // Drain any fat state with one more uncontended cycle.
+        l.write(|| {});
+        let w = l.raw_word();
+        assert!(!w.is_inflated(), "deflates when uncontended: {w}");
+        assert!(w.counter().unwrap() >= before + 3);
+        let s = l.stats().snapshot();
+        assert!(s.flc_waits + s.inflations >= 1, "{s}");
+    }
+
+    #[test]
+    fn counter_monotonic_across_many_writes() {
+        let l = SoleroLock::new();
+        let mut last = l.raw_word().counter().unwrap();
+        for _ in 0..100 {
+            l.write(|| {});
+            let c = l.raw_word().counter().unwrap();
+            assert!(c > last);
+            last = c;
+        }
+    }
+}

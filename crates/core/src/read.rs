@@ -1,0 +1,660 @@
+//! Read-only lock elision and recovery — Figures 7, 8, 9, 17 and §3.3.
+//!
+//! The driver implements the paper's retry/fallback protocol:
+//!
+//! 1. Capture the lock word; if its low three bits are clear, run the
+//!    section speculatively; otherwise take the slow entry (recursion,
+//!    spin, or the monitor).
+//! 2. On completion, re-read the word. Unchanged ⇒ the lock was free for
+//!    the whole section and the reads are consistent — done, with no
+//!    write to the lock word. Changed ⇒ the attempt failed.
+//! 3. On a fault inside the section, validate: if the word changed the
+//!    fault may be a speculation artifact — treat as a failed attempt;
+//!    if unchanged the fault is genuine and propagates.
+//! 4. After `fallback_threshold` failed attempts, acquire the lock and
+//!    re-execute non-speculatively (starvation freedom).
+
+
+use std::sync::atomic::Ordering;
+
+use solero_runtime::fault::Fault;
+use solero_runtime::spin::Probe;
+use solero_runtime::thread::ThreadId;
+use solero_runtime::word::{SoleroWord, COUNTER_STEP, SOLERO_RECURSION_MAX, SOLERO_RECURSION_STEP};
+
+use crate::config::ElisionMode;
+use crate::lock::SoleroLock;
+use crate::session::{MostlySession, ReadSession};
+
+/// Outcome of settling one execution attempt.
+enum Settled<R> {
+    /// The section is finished (successfully or with a genuine fault).
+    Done(Result<R, Fault>),
+    /// The attempt failed; add this many failures and re-execute.
+    Retry(u32),
+}
+
+impl SoleroLock {
+    /// Runs `f` as a **read-only critical section**, eliding the lock
+    /// when possible.
+    ///
+    /// `f` may run speculatively and more than once; it must be free of
+    /// externally visible side effects (the paper's JIT verifies this —
+    /// see the `solero-jit` crate) and should call
+    /// [`ReadSession::checkpoint`](crate::Checkpoint::checkpoint) at
+    /// loop back-edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` only for *genuine* faults — those raised while the
+    /// reads were provably consistent. Speculation artifacts are
+    /// recovered internally by re-execution.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use solero::{Fault, SoleroLock};
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    ///
+    /// let lock = SoleroLock::new();
+    /// let x = AtomicU64::new(7);
+    /// let v = lock.read_only(|_s| Ok::<_, Fault>(x.load(Ordering::Acquire)))?;
+    /// assert_eq!(v, 7);
+    /// # Ok::<(), Fault>(())
+    /// ```
+    pub fn read_only<R>(
+        &self,
+        mut f: impl FnMut(&mut ReadSession<'_>) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        self.read_api(move |s| f(s))
+    }
+
+    /// Runs `f` as a **read-mostly critical section** (§5): elided like
+    /// a read-only section, but `f` may call
+    /// [`MostlySession::ensure_write`](crate::WriteIntent::ensure_write)
+    /// before its first write; on upgrade failure the section re-executes
+    /// while holding the lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` only for genuine faults, as with
+    /// [`SoleroLock::read_only`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use solero::{Fault, SoleroLock, WriteIntent};
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    ///
+    /// let lock = SoleroLock::new();
+    /// let hits = AtomicU64::new(0);
+    /// lock.read_mostly(|s| {
+    ///     // ... mostly reads; rare write path: ...
+    ///     s.ensure_write()?;
+    ///     hits.fetch_add(1, Ordering::Relaxed);
+    ///     Ok::<_, Fault>(())
+    /// })?;
+    /// assert_eq!(hits.load(Ordering::Relaxed), 1);
+    /// # Ok::<(), Fault>(())
+    /// ```
+    pub fn read_mostly<R>(
+        &self,
+        mut f: impl FnMut(&mut MostlySession<'_>) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        self.read_api(move |s| {
+            // MostlySession is a transparent wrapper adding the upgrade
+            // operation; state changes flow back to the driver's view.
+            let mut m = MostlySession(ReadSession {
+                lock: s.lock,
+                v: s.v,
+                held: s.held,
+                poll: s.poll.clone(),
+            });
+            let r = f(&mut m);
+            s.held = m.0.held;
+            s.v = m.0.v;
+            r
+        })
+    }
+
+    /// The shared entry point: an inlined fast path (the code shape the
+    /// paper's JIT emits at every read-only synchronized block) backed
+    /// by the out-of-line retry/fallback driver.
+    #[inline]
+    fn read_api<R>(
+        &self,
+        mut f: impl FnMut(&mut ReadSession<'_>) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        self.stats.read_enters.fetch_add(1, Ordering::Relaxed);
+        if self.config.elision == ElisionMode::NoElide {
+            return self.read_unelided(f);
+        }
+        // Figure 7, lines 1–8, inlined.
+        let v = self.word.load(Ordering::Acquire);
+        if SoleroWord(v).is_elidable() {
+            self.config.barrier.read_entry_fence();
+            let mut s = ReadSession::new(self, v, false);
+            let out = f(&mut s);
+            if let Ok(r) = out {
+                if !s.held {
+                    self.config.barrier.read_exit_fence();
+                    if s.v == self.word.load(Ordering::Acquire) {
+                        self.stats.elision_success.fetch_add(1, Ordering::Relaxed);
+                        return Ok(r);
+                    }
+                }
+                // Completed but needs the slow exit / failed validation.
+                match self.settle_attempt(Ok(r), s.v, s.held) {
+                    Settled::Done(res) => return res,
+                    Settled::Retry(failures) => return self.read_resume(f, failures),
+                }
+            }
+            match self.settle_attempt(out, s.v, s.held) {
+                Settled::Done(res) => return res,
+                Settled::Retry(failures) => return self.read_resume(f, failures),
+            }
+        }
+        // Busy at entry: slow entry, then the driver loop.
+        self.read_busy_entry(f)
+    }
+
+    /// Unelided-SOLERO: execute the read section as a writing critical
+    /// section (the Figure 10 ablation).
+    #[cold]
+    fn read_unelided<R>(
+        &self,
+        mut f: impl FnMut(&mut ReadSession<'_>) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        let tid = ThreadId::current();
+        let t = self.enter_write(tid);
+        let v1 = t.v1;
+        let mut s = ReadSession::new(self, v1, true);
+        let r = f(&mut s);
+        self.exit_write(tid, t);
+        r
+    }
+
+    /// First attempt when the word was busy at entry.
+    #[cold]
+    fn read_busy_entry<R>(
+        &self,
+        mut f: impl FnMut(&mut ReadSession<'_>) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        let tid = ThreadId::current();
+        let (v, held) = self.slow_read_enter(tid);
+        if !held {
+            self.config.barrier.read_entry_fence();
+        }
+        let mut s = ReadSession::new(self, v, held);
+        let out = f(&mut s);
+        match self.settle_attempt(out, s.v, s.held) {
+            Settled::Done(res) => res,
+            Settled::Retry(failures) => self.read_resume(f, failures),
+        }
+    }
+
+    /// Post-processing of one execution attempt: exit validation
+    /// (Figure 7 lines 6–14) and the catch-block fault triage (§3.3).
+    #[cold]
+    fn settle_attempt<R>(&self, out: Result<R, Fault>, v: u64, held: bool) -> Settled<R> {
+        match out {
+            Ok(r) => {
+                if held {
+                    let released = self.slow_read_exit(ThreadId::current(), v);
+                    debug_assert!(released, "held section must release");
+                    return Settled::Done(Ok(r));
+                }
+                // Figure 7, line 6: validate.
+                self.config.barrier.read_exit_fence();
+                if v == self.word.load(Ordering::Acquire) {
+                    self.stats.elision_success.fetch_add(1, Ordering::Relaxed);
+                    return Settled::Done(Ok(r));
+                }
+                // Figure 7, line 9: the lock may be held by us through a
+                // path the fast check misses.
+                if self.slow_read_exit(ThreadId::current(), v) {
+                    return Settled::Done(Ok(r));
+                }
+                self.stats.elision_failure.fetch_add(1, Ordering::Relaxed);
+                Settled::Retry(1)
+            }
+            Err(fault) => {
+                if held {
+                    // Faults under a held lock are genuine: release and
+                    // propagate (§3.3 — the conventional path).
+                    let released = self.slow_read_exit(ThreadId::current(), v);
+                    debug_assert!(released, "held section must release");
+                    return Settled::Done(Err(fault));
+                }
+                if fault == Fault::UpgradeFailed {
+                    // Figure 17, line 13: go straight to fallback.
+                    self.stats.elision_failure.fetch_add(1, Ordering::Relaxed);
+                    return Settled::Retry(self.config.fallback_threshold.max(1));
+                }
+                // Catch-block validation (§3.3): unchanged word means
+                // the reads were consistent — the fault is genuine.
+                if !fault.is_artifact_only() && v == self.word.load(Ordering::Acquire) {
+                    return Settled::Done(Err(fault));
+                }
+                self.stats
+                    .speculative_faults
+                    .fetch_add(1, Ordering::Relaxed);
+                self.stats.elision_failure.fetch_add(1, Ordering::Relaxed);
+                Settled::Retry(1)
+            }
+        }
+    }
+
+    /// Re-execution loop: optimistic retries until `fallback_threshold`
+    /// failures, then under the acquired lock (starvation freedom).
+    #[cold]
+    fn read_resume<R>(
+        &self,
+        mut f: impl FnMut(&mut ReadSession<'_>) -> Result<R, Fault>,
+        mut failures: u32,
+    ) -> Result<R, Fault> {
+        let tid = ThreadId::current();
+        loop {
+            let (v, held) = if failures >= self.config.fallback_threshold {
+                self.stats.fallback_acquires.fetch_add(1, Ordering::Relaxed);
+                (self.slow_enter_write(tid), true)
+            } else {
+                let raw = self.word.load(Ordering::Acquire);
+                if SoleroWord(raw).is_elidable() {
+                    (raw, false)
+                } else {
+                    self.slow_read_enter(tid)
+                }
+            };
+            if !held {
+                self.config.barrier.read_entry_fence();
+            }
+            let mut s = ReadSession::new(self, v, held);
+            let out = f(&mut s);
+            match self.settle_attempt(out, s.v, s.held) {
+                Settled::Done(res) => return res,
+                Settled::Retry(add) => failures += add,
+            }
+        }
+    }
+
+    /// Slow entry for read-only sections — Figure 8.
+    ///
+    /// Recursion increments the recursion bits; a busy flat lock is
+    /// spun on; inflation (or persistent contention) acquires the fat
+    /// lock. Returns `(v, held)` — `held` entries use `v = 0`, which can
+    /// never match the word (paper: "the lock value never matches with
+    /// zero because the inflation bit ... is set").
+    #[cold]
+    pub(crate) fn slow_read_enter(&self, tid: ThreadId) -> (u64, bool) {
+        // Figure 8, lines 2–5: test_recursion.
+        let v = SoleroWord(self.word.load(Ordering::Acquire));
+        if !v.is_inflated() && v.tid() == Some(tid) {
+            if v.recursion() == SOLERO_RECURSION_MAX {
+                self.inflate_held(tid, v);
+                self.monitor().enter(tid);
+                return (0, true);
+            }
+            self.word.fetch_add(SOLERO_RECURSION_STEP, Ordering::Relaxed);
+            self.stats.recursive_enters.fetch_add(1, Ordering::Relaxed);
+            return (0, true);
+        }
+        self.stats.read_slow_enters.fetch_add(1, Ordering::Relaxed);
+        // Figure 8, lines 6–17: three-tier wait for the lock to free up.
+        let spun = self.config.spin.run(|| {
+            let raw = self.word.load(Ordering::Acquire);
+            let w = SoleroWord(raw);
+            if w.is_elidable() {
+                Probe::Done(Some(raw))
+            } else if w.needs_monitor() {
+                // Figure 8, line 11: inflated or contended — stop.
+                Probe::Done(None)
+            } else {
+                Probe::Retry
+            }
+        });
+        match spun {
+            Some(Some(v)) => (v, false),
+            // Figure 8, INFLATION: acquire the fat lock via the monitor.
+            Some(None) | None => {
+                let entered = self.enter_via_monitor(tid);
+                debug_assert!(entered);
+                (0, true)
+            }
+        }
+    }
+
+    /// Slow exit for read-only sections — Figure 9. Returns `true` if
+    /// the section completed (recursion popped, flat lock released, or
+    /// fat lock released); `false` if validation failed and the section
+    /// must re-execute.
+    #[cold]
+    pub(crate) fn slow_read_exit(&self, tid: ThreadId, v: u64) -> bool {
+        let w = SoleroWord(self.word.load(Ordering::Acquire));
+        if !w.is_inflated() && w.tid() == Some(tid) {
+            if w.recursion() > 0 {
+                // Figure 9, lines 2–4.
+                self.word.fetch_sub(SOLERO_RECURSION_STEP, Ordering::Release);
+                return true;
+            }
+            // Figure 9, lines 5–8: release the flat lock with v + 0x100
+            // and check the FLC bit.
+            if w.has_flc() {
+                let m = self.monitor();
+                m.enter(tid);
+                self.word
+                    .store(v.wrapping_add(COUNTER_STEP), Ordering::Release);
+                m.notify_all();
+                m.exit(tid);
+            } else {
+                self.word
+                    .store(v.wrapping_add(COUNTER_STEP), Ordering::Release);
+            }
+            return true;
+        }
+        if w.is_inflated() {
+            // Figure 9, lines 9–11.
+            let m = self.monitor();
+            if m.owned_by(tid) {
+                self.exit_fat(tid);
+                return true;
+            }
+        }
+        // Figure 9, line 13: the lock value changed — re-execute.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SoleroConfig;
+    use crate::session::{Checkpoint, WriteIntent};
+    use solero_runtime::spin::SpinConfig;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn elided_read_leaves_word_untouched() {
+        let l = SoleroLock::new();
+        let before = l.raw_word();
+        let n = l.read_only(|_| Ok::<_, Fault>(5)).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(l.raw_word(), before, "read-only section writes no lock state");
+        let s = l.stats().snapshot();
+        assert_eq!(s.elision_success, 1);
+        assert_eq!(s.elision_failure, 0);
+    }
+
+    #[test]
+    fn unelided_mode_acquires() {
+        let l = SoleroLock::with_config(SoleroConfig::unelided());
+        let before = l.raw_word().counter().unwrap();
+        l.read_only(|s| {
+            assert!(!s.is_speculative());
+            Ok::<_, Fault>(())
+        })
+        .unwrap();
+        assert_eq!(l.raw_word().counter().unwrap(), before + 1);
+        assert_eq!(l.stats().snapshot().elision_success, 0);
+    }
+
+    #[test]
+    fn genuine_fault_propagates_once() {
+        let l = SoleroLock::new();
+        let mut runs = 0;
+        let r: Result<(), Fault> = l.read_only(|_| {
+            runs += 1;
+            Err(Fault::NullPointer)
+        });
+        assert_eq!(r, Err(Fault::NullPointer));
+        assert_eq!(runs, 1, "consistent fault must not retry");
+    }
+
+    #[test]
+    fn validation_failure_retries_then_falls_back() {
+        let l = Arc::new(SoleroLock::new());
+        let mut attempt = 0;
+        let l2 = Arc::clone(&l);
+        let r = l
+            .read_only(|s| {
+                attempt += 1;
+                if attempt == 1 {
+                    assert!(s.is_speculative());
+                    // A concurrent writer invalidates us mid-section.
+                    std::thread::scope(|sc| {
+                        sc.spawn(|| l2.write(|| {}));
+                    });
+                    // The read completes but validation must now fail.
+                    Ok::<_, Fault>(attempt)
+                } else {
+                    // Fallback execution holds the lock.
+                    assert!(!s.is_speculative());
+                    Ok(attempt)
+                }
+            })
+            .unwrap();
+        assert_eq!(r, 2);
+        let s = l.stats().snapshot();
+        assert_eq!(s.elision_failure, 1);
+        assert_eq!(s.fallback_acquires, 1);
+        assert_eq!(s.elision_success, 0);
+        assert!(!l.is_locked(), "fallback must release");
+    }
+
+    #[test]
+    fn speculative_fault_with_changed_word_retries() {
+        let l = Arc::new(SoleroLock::new());
+        let mut attempt = 0;
+        let l2 = Arc::clone(&l);
+        let r = l
+            .read_only(|_| {
+                attempt += 1;
+                if attempt == 1 {
+                    std::thread::scope(|sc| {
+                        sc.spawn(|| l2.write(|| {}));
+                    });
+                    // Fault that *could* be a speculation artifact.
+                    Err(Fault::NullPointer)
+                } else {
+                    Ok(99)
+                }
+            })
+            .unwrap();
+        assert_eq!(r, 99);
+        assert_eq!(l.stats().snapshot().speculative_faults, 1);
+    }
+
+    #[test]
+    fn checkpoint_detects_concurrent_writer() {
+        let l = Arc::new(SoleroLock::with_config(SoleroConfig {
+            checkpoint_period: 1, // validate at every back-edge
+            ..SoleroConfig::default()
+        }));
+        let l2 = Arc::clone(&l);
+        let mut attempt = 0;
+        let r = l
+            .read_only(|s| {
+                attempt += 1;
+                if attempt == 1 {
+                    std::thread::scope(|sc| {
+                        sc.spawn(|| l2.write(|| {}));
+                    });
+                    // Simulated infinite loop: the check-point must
+                    // break it.
+                    for _ in 0..1_000_000 {
+                        s.checkpoint()?;
+                    }
+                    panic!("checkpoint failed to detect the writer");
+                }
+                Ok::<_, Fault>(attempt)
+            })
+            .unwrap();
+        assert_eq!(r, 2);
+        assert!(l.stats().snapshot().async_validations > 0);
+    }
+
+    #[test]
+    fn read_inside_write_section_is_recursive() {
+        let l = SoleroLock::new();
+        let tid = ThreadId::current();
+        let t = l.enter_write(tid);
+        let r = l
+            .read_only(|s| {
+                assert!(!s.is_speculative(), "nested read runs under the lock");
+                Ok::<_, Fault>(1)
+            })
+            .unwrap();
+        assert_eq!(r, 1);
+        assert!(l.holds(tid), "outer lock still held");
+        l.exit_write(tid, t);
+        assert!(!l.is_locked());
+        assert_eq!(l.stats().snapshot().recursive_enters, 1);
+    }
+
+    #[test]
+    fn slow_read_enter_waits_for_writer() {
+        let l = Arc::new(SoleroLock::with_config(SoleroConfig {
+            spin: SpinConfig {
+                tier1: 16,
+                tier2: 1024,
+                tier3: 64,
+            },
+            ..SoleroConfig::default()
+        }));
+        let data = Arc::new(AtomicU64::new(0));
+        let tid = ThreadId::current();
+        let t = l.enter_write(tid);
+        let (l2, d2) = (Arc::clone(&l), Arc::clone(&data));
+        let h = std::thread::spawn(move || {
+            l2.read_only(|_| Ok::<_, Fault>(d2.load(Ordering::Acquire)))
+                .unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        data.store(42, Ordering::Release);
+        l.exit_write(tid, t);
+        assert_eq!(h.join().unwrap(), 42, "reader must see the writer's data");
+        assert!(l.stats().snapshot().read_slow_enters >= 1);
+    }
+
+    #[test]
+    fn read_mostly_upgrades_in_place() {
+        let l = SoleroLock::new();
+        let data = AtomicU64::new(0);
+        let before = l.raw_word().counter().unwrap();
+        l.read_mostly(|s| {
+            let seen = data.load(Ordering::Acquire);
+            s.ensure_write()?;
+            assert!(!s.is_speculative());
+            data.store(seen + 1, Ordering::Release);
+            Ok::<_, Fault>(())
+        })
+        .unwrap();
+        assert_eq!(data.load(Ordering::Acquire), 1);
+        assert_eq!(
+            l.raw_word().counter().unwrap(),
+            before + 1,
+            "upgraded section releases like a writer"
+        );
+        assert_eq!(l.stats().snapshot().mostly_upgrades, 1);
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn read_mostly_without_write_elides() {
+        let l = SoleroLock::new();
+        let before = l.raw_word();
+        l.read_mostly(|_| Ok::<_, Fault>(())).unwrap();
+        assert_eq!(l.raw_word(), before);
+        assert_eq!(l.stats().snapshot().elision_success, 1);
+    }
+
+    #[test]
+    fn read_mostly_upgrade_failure_falls_back() {
+        let l = Arc::new(SoleroLock::new());
+        let l2 = Arc::clone(&l);
+        let data = AtomicU64::new(0);
+        let mut attempt = 0;
+        l.read_mostly(|s| {
+            attempt += 1;
+            if attempt == 1 {
+                // Invalidate before the upgrade point.
+                std::thread::scope(|sc| {
+                    sc.spawn(|| l2.write(|| {}));
+                });
+            }
+            s.ensure_write()?;
+            data.fetch_add(1, Ordering::Relaxed);
+            Ok::<_, Fault>(())
+        })
+        .unwrap();
+        assert_eq!(attempt, 2, "failed upgrade re-executes under the lock");
+        assert_eq!(data.load(Ordering::Relaxed), 1, "write happens exactly once");
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn concurrent_readers_all_elide() {
+        let l = Arc::new(SoleroLock::new());
+        let data = Arc::new(AtomicU64::new(1234));
+        std::thread::scope(|sc| {
+            for _ in 0..8 {
+                let l = Arc::clone(&l);
+                let d = Arc::clone(&data);
+                sc.spawn(move || {
+                    for _ in 0..1_000 {
+                        let v = l
+                            .read_only(|_| Ok::<_, Fault>(d.load(Ordering::Acquire)))
+                            .unwrap();
+                        assert_eq!(v, 1234);
+                    }
+                });
+            }
+        });
+        let s = l.stats().snapshot();
+        assert_eq!(s.elision_success, 8_000);
+        assert_eq!(s.elision_failure, 0);
+        assert_eq!(s.write_enters, 0);
+    }
+
+    #[test]
+    fn readers_and_writers_keep_snapshots_consistent() {
+        // Two fields updated together under the lock must never be seen
+        // torn by a *validated* read.
+        let l = Arc::new(SoleroLock::new());
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                let (l, a, b) = (Arc::clone(&l), Arc::clone(&a), Arc::clone(&b));
+                sc.spawn(move || {
+                    for _ in 0..3_000 {
+                        let (x, y) = l
+                            .read_only(|_| {
+                                Ok::<_, Fault>((
+                                    a.load(Ordering::Acquire),
+                                    b.load(Ordering::Acquire),
+                                ))
+                            })
+                            .unwrap();
+                        assert_eq!(x, y, "validated read observed a torn pair");
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let (l, a, b) = (Arc::clone(&l), Arc::clone(&a), Arc::clone(&b));
+                sc.spawn(move || {
+                    for _ in 0..3_000 {
+                        l.write(|| {
+                            let v = a.load(Ordering::Relaxed) + 1;
+                            a.store(v, Ordering::Release);
+                            std::hint::spin_loop();
+                            b.store(v, Ordering::Release);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 6_000);
+    }
+}

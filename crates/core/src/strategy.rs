@@ -1,0 +1,344 @@
+//! A common interface over the three evaluated lock implementations.
+//!
+//! The paper's workloads run unchanged over `Lock` (conventional
+//! monitor), `RWLock`, and `SOLERO`; only the synchronization strategy
+//! differs. [`SyncStrategy`] captures that: a workload expresses its
+//! critical sections as closures, and each strategy decides how to
+//! protect them — mutual exclusion, shared/exclusive modes, or
+//! speculative elision with recovery.
+//!
+//! Read sections receive a [`WriteIntent`] context (a
+//! [`Checkpoint`] plus the read-mostly upgrade hook): under SOLERO it is
+//! live machinery; under the lock-based strategies it is a no-op, so the
+//! workload code — including its back-edge check-points — is identical
+//! across strategies, keeping the comparison fair.
+
+use solero_runtime::fault::Fault;
+use solero_runtime::stats::StatsSnapshot;
+use solero_runtime::thread::ThreadId;
+use solero_rwlock::JavaRwLock;
+use solero_tasuki::TasukiLock;
+
+use crate::config::SoleroConfig;
+use crate::lock::SoleroLock;
+use crate::session::{NullCheckpoint, WriteIntent};
+
+/// A synchronization strategy for critical sections.
+pub trait SyncStrategy: Send + Sync {
+    /// Human-readable name used in benchmark output ("Lock", "RWLock",
+    /// "SOLERO", ...).
+    fn name(&self) -> &'static str;
+
+    /// Runs `f` as a writing critical section.
+    fn write_section<R>(&self, f: impl FnOnce() -> R) -> R
+    where
+        Self: Sized;
+
+    /// Runs `f` as a read-only critical section. `f` may execute
+    /// speculatively and multiple times under SOLERO; it must confine
+    /// its effects to its return value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates only genuine faults from `f`.
+    fn read_section<R>(
+        &self,
+        f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
+    ) -> Result<R, Fault>
+    where
+        Self: Sized;
+
+    /// Runs `f` as a read-mostly critical section: mostly reads, with
+    /// `ensure_write` called before any write. Defaults to
+    /// [`SyncStrategy::read_section`], which is correct for strategies
+    /// whose read sections already hold a write-excluding lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates only genuine faults from `f`.
+    fn mostly_section<R>(
+        &self,
+        f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
+    ) -> Result<R, Fault>
+    where
+        Self: Sized,
+    {
+        self.read_section(f)
+    }
+
+    /// Point-in-time statistics.
+    fn snapshot(&self) -> StatsSnapshot;
+
+    /// Resets the statistics counters.
+    fn reset_stats(&self);
+}
+
+/// The conventional monitor — the paper's `Lock`.
+///
+/// Read sections acquire the lock exactly like write sections (mutual
+/// exclusion does not distinguish them); they are counted as reads for
+/// the Table 1 statistics.
+#[derive(Debug, Default)]
+pub struct LockStrategy {
+    lock: TasukiLock,
+}
+
+impl LockStrategy {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying lock.
+    pub fn lock(&self) -> &TasukiLock {
+        &self.lock
+    }
+}
+
+impl SyncStrategy for LockStrategy {
+    fn name(&self) -> &'static str {
+        "Lock"
+    }
+
+    fn write_section<R>(&self, f: impl FnOnce() -> R) -> R {
+        let tid = ThreadId::current();
+        self.lock.enter(tid);
+        let r = f();
+        self.lock.exit(tid);
+        r
+    }
+
+    fn read_section<R>(
+        &self,
+        mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        let tid = ThreadId::current();
+        // Same acquisition; counted as a read section so Table 1's
+        // read-only ratio is strategy-independent.
+        self.lock.enter_read(tid);
+        let r = f(&mut NullCheckpoint);
+        self.lock.exit(tid);
+        r
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        self.lock.stats().snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.lock.stats().reset();
+    }
+}
+
+/// The `java.util.concurrent`-style read-write lock — the paper's
+/// `RWLock`.
+#[derive(Debug, Default)]
+pub struct RwLockStrategy {
+    lock: JavaRwLock,
+}
+
+impl RwLockStrategy {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying lock.
+    pub fn lock(&self) -> &JavaRwLock {
+        &self.lock
+    }
+}
+
+impl SyncStrategy for RwLockStrategy {
+    fn name(&self) -> &'static str {
+        "RWLock"
+    }
+
+    fn write_section<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _g = self.lock.write();
+        f()
+    }
+
+    fn read_section<R>(
+        &self,
+        mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        let _g = self.lock.read();
+        f(&mut NullCheckpoint)
+    }
+
+    fn mostly_section<R>(
+        &self,
+        mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        // A read-mostly section may write after `ensure_write`; under a
+        // read-write lock that requires the write mode.
+        let _g = self.lock.write();
+        f(&mut NullCheckpoint)
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        self.lock.stats().snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.lock.stats().reset();
+    }
+}
+
+/// SOLERO — the paper's contribution, including its `Unelided` and
+/// `WeakBarrier` ablation configurations.
+#[derive(Debug, Default)]
+pub struct SoleroStrategy {
+    lock: SoleroLock,
+    label: &'static str,
+}
+
+impl SoleroStrategy {
+    /// The paper's default configuration.
+    pub fn new() -> Self {
+        SoleroStrategy {
+            lock: SoleroLock::new(),
+            label: "SOLERO",
+        }
+    }
+
+    /// A strategy with explicit configuration and display label.
+    pub fn with_config(config: SoleroConfig, label: &'static str) -> Self {
+        SoleroStrategy {
+            lock: SoleroLock::with_config(config),
+            label,
+        }
+    }
+
+    /// The `Unelided-SOLERO` ablation (Figure 10).
+    pub fn unelided() -> Self {
+        Self::with_config(SoleroConfig::unelided(), "Unelided-SOLERO")
+    }
+
+    /// The `WeakBarrier-SOLERO` ablation (Figure 10).
+    pub fn weak_barrier() -> Self {
+        Self::with_config(SoleroConfig::weak_barrier(), "WeakBarrier-SOLERO")
+    }
+
+    /// The underlying lock.
+    pub fn lock(&self) -> &SoleroLock {
+        &self.lock
+    }
+}
+
+impl SyncStrategy for SoleroStrategy {
+    fn name(&self) -> &'static str {
+        if self.label.is_empty() {
+            "SOLERO"
+        } else {
+            self.label
+        }
+    }
+
+    fn write_section<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.lock.write(f)
+    }
+
+    fn read_section<R>(
+        &self,
+        mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        self.lock.read_only(|s| f(s))
+    }
+
+    fn mostly_section<R>(
+        &self,
+        mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        self.lock.read_mostly(|s| f(s))
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        self.lock.stats().snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.lock.stats().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn exercise<S: SyncStrategy>(s: &S) {
+        let data = AtomicU64::new(0);
+        s.write_section(|| data.store(5, Ordering::Release));
+        let v = s
+            .read_section(|ck| {
+                ck.checkpoint()?;
+                Ok(data.load(Ordering::Acquire))
+            })
+            .unwrap();
+        assert_eq!(v, 5);
+        s.mostly_section(|ck| {
+            let cur = data.load(Ordering::Acquire);
+            ck.ensure_write()?;
+            data.store(cur + 1, Ordering::Release);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(data.load(Ordering::Acquire), 6);
+        let snap = s.snapshot();
+        assert!(snap.total_sections() >= 2, "{}: {snap}", s.name());
+        s.reset_stats();
+        assert_eq!(s.snapshot().total_sections(), 0);
+    }
+
+    #[test]
+    fn all_strategies_run_the_same_workload() {
+        exercise(&LockStrategy::new());
+        exercise(&RwLockStrategy::new());
+        exercise(&SoleroStrategy::new());
+        exercise(&SoleroStrategy::unelided());
+        exercise(&SoleroStrategy::weak_barrier());
+    }
+
+    #[test]
+    fn read_ratio_is_strategy_independent() {
+        for run in 0..3 {
+            let (lock, rw, so) = (
+                LockStrategy::new(),
+                RwLockStrategy::new(),
+                SoleroStrategy::new(),
+            );
+            fn mix<S: SyncStrategy>(s: &S) -> f64 {
+                for i in 0..100 {
+                    if i % 10 == 0 {
+                        s.write_section(|| {});
+                    } else {
+                        s.read_section(|_| Ok(())).unwrap();
+                    }
+                }
+                s.snapshot().read_only_ratio()
+            }
+            let (a, b, c) = (mix(&lock), mix(&rw), mix(&so));
+            assert!((a - 0.9).abs() < 1e-12, "run {run}: lock ratio {a}");
+            assert!((b - 0.9).abs() < 1e-12, "run {run}: rw ratio {b}");
+            assert!((c - 0.9).abs() < 1e-12, "run {run}: solero ratio {c}");
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            LockStrategy::new().name(),
+            RwLockStrategy::new().name(),
+            SoleroStrategy::new().name(),
+            SoleroStrategy::unelided().name(),
+            SoleroStrategy::weak_barrier().name(),
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

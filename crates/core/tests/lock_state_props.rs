@@ -1,0 +1,157 @@
+//! State-machine property test: a single thread drives a `SoleroLock`
+//! through arbitrary interleavings of write sections (with recursion),
+//! read-only sections, and read-mostly sections, against a reference
+//! model. Invariants:
+//!
+//! * `is_locked`/`held_by_current` track the model's nesting depth;
+//! * read sessions are speculative exactly when the model says the lock
+//!   is free;
+//! * the sequence counter, whenever visible (lock free, thin), is
+//!   strictly monotone and advances at least once per completed writing
+//!   section or upgrade;
+//! * statistics add up.
+
+use proptest::prelude::*;
+use solero::{Checkpoint, SoleroLock, WriteIntent, WriteTicket};
+use solero_runtime::thread::ThreadId;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    EnterWrite,
+    ExitWrite,
+    ReadOnly,
+    MostlyRead,
+    MostlyWrite,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::EnterWrite),
+        Just(Op::ExitWrite),
+        Just(Op::ReadOnly),
+        Just(Op::MostlyRead),
+        Just(Op::MostlyWrite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn single_thread_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let lock = SoleroLock::new();
+        let tid = ThreadId::current();
+        let mut tickets: Vec<WriteTicket> = Vec::new();
+        let mut last_counter = lock.raw_word().counter().unwrap();
+        let mut completed_writes = 0u64;
+        let mut reads = 0u64;
+
+        for op in &ops {
+            let depth = tickets.len();
+            match op {
+                Op::EnterWrite => {
+                    tickets.push(lock.enter_write(tid));
+                    prop_assert!(lock.held_by_current());
+                }
+                Op::ExitWrite => {
+                    if let Some(t) = tickets.pop() {
+                        lock.exit_write(tid, t);
+                        if tickets.is_empty() {
+                            completed_writes += 1;
+                        }
+                    }
+                }
+                Op::ReadOnly => {
+                    reads += 1;
+                    let expect_spec = depth == 0;
+                    lock.read_only(|s| {
+                        assert_eq!(
+                            s.is_speculative(),
+                            expect_spec,
+                            "speculation iff the lock is free"
+                        );
+                        s.checkpoint()?;
+                        Ok(())
+                    }).unwrap();
+                }
+                Op::MostlyRead => {
+                    reads += 1;
+                    lock.read_mostly(|s| {
+                        s.checkpoint()?;
+                        Ok(())
+                    }).unwrap();
+                }
+                Op::MostlyWrite => {
+                    reads += 1;
+                    let was_free = depth == 0;
+                    lock.read_mostly(|s| {
+                        s.ensure_write()?;
+                        assert!(!s.is_speculative());
+                        Ok(())
+                    }).unwrap();
+                    if was_free {
+                        // An upgraded section releases like a writer.
+                        completed_writes += 1;
+                    }
+                }
+            }
+            // Depth bookkeeping must match the lock's view.
+            prop_assert_eq!(lock.held_by_current(), !tickets.is_empty());
+            // Whenever the counter is visible it is monotone.
+            if let Some(c) = lock.raw_word().counter() {
+                prop_assert!(c >= last_counter, "counter went backwards");
+                last_counter = c;
+            }
+        }
+        // Drain.
+        while let Some(t) = tickets.pop() {
+            lock.exit_write(tid, t);
+            if tickets.is_empty() {
+                completed_writes += 1;
+            }
+        }
+        prop_assert!(!lock.is_locked());
+        let final_counter = lock.raw_word().counter().unwrap();
+        prop_assert!(
+            final_counter >= completed_writes,
+            "counter {final_counter} < completed writing sections {completed_writes}"
+        );
+
+        let st = lock.stats().snapshot();
+        prop_assert_eq!(st.read_enters, reads);
+        // Single-threaded: nothing can invalidate a speculative read.
+        prop_assert_eq!(st.elision_failure, 0);
+        prop_assert_eq!(st.fallback_acquires, 0);
+        prop_assert_eq!(st.speculative_faults, 0);
+    }
+
+    #[test]
+    fn deep_recursion_is_transparent(depth in 1usize..100, reads_between in 0usize..4) {
+        // Any nesting depth (including past the 5 recursion bits, which
+        // forces inflation) behaves like a counter.
+        let lock = SoleroLock::new();
+        let tid = ThreadId::current();
+        let mut tickets = Vec::new();
+        for d in 0..depth {
+            tickets.push(lock.enter_write(tid));
+            prop_assert!(lock.held_by_current());
+            for _ in 0..reads_between {
+                // Nested reads run under the lock, at any depth.
+                lock.read_only(|s| {
+                    assert!(!s.is_speculative());
+                    Ok(())
+                }).unwrap();
+            }
+            let _ = d;
+        }
+        for t in tickets.into_iter().rev() {
+            prop_assert!(lock.held_by_current());
+            lock.exit_write(tid, t);
+        }
+        prop_assert!(!lock.is_locked());
+        // After quiescing, elision works regardless of what happened.
+        lock.write(|| {});
+        lock.read_only(|_| Ok(())).unwrap();
+        prop_assert!(lock.stats().snapshot().elision_success >= 1);
+    }
+}

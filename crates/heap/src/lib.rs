@@ -1,0 +1,44 @@
+//! A shadow Java heap for speculation-safe reads.
+//!
+//! **Substitution note (see DESIGN.md §2):** the paper runs inside a
+//! JVM, where a speculative read-only critical section may race with a
+//! writer yet remain memory-safe — inconsistency surfaces as stale
+//! values, runtime exceptions, or unbounded loops, all of which the
+//! SOLERO recovery machinery handles. Safe Rust cannot race on ordinary
+//! references, so the data protected by the evaluated locks lives in
+//! this crate's [`Heap`]: a flat arena of `AtomicU64` words, objects
+//! addressed by 32-bit handles (`0` = null), every access classified and
+//! bounds-checked against an atomic header. Races become well-defined
+//! *value*-level inconsistencies and typed [`Fault`]s — exactly the
+//! failure model the paper's §3.3 recovers from.
+//!
+//! # Examples
+//!
+//! Build a two-node linked structure and read it back:
+//!
+//! ```
+//! use solero_heap::{ClassId, Heap, ObjRef};
+//!
+//! const NODE: ClassId = ClassId::new(1); // layout: [value, next]
+//! let heap = Heap::new(1 << 10);
+//!
+//! let tail = heap.alloc(NODE, 2).unwrap();
+//! heap.store_i64(tail, 0, 20).unwrap();
+//! let head = heap.alloc(NODE, 2).unwrap();
+//! heap.store_i64(head, 0, 10).unwrap();
+//! heap.store_ref(head, 1, tail).unwrap();
+//!
+//! let next = heap.load_ref(head, NODE, 1).unwrap();
+//! assert_eq!(heap.load_i64(next, NODE, 0).unwrap(), 20);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod heap;
+mod object;
+
+pub use heap::{Heap, HeapReport, OutOfMemory};
+pub use object::{ClassId, ObjRef};
+
+pub use solero_runtime::fault::Fault;

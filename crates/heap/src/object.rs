@@ -1,0 +1,171 @@
+//! Object model: handles, class ids, and the object header word.
+//!
+//! The shadow heap is one flat array of atomic words. An *object* is a
+//! header word followed by `len` slot words; an [`ObjRef`] is the
+//! header's word offset (0 is reserved and means `null`, like a Java
+//! null reference). The header packs the class id and the slot count so
+//! that a single atomic load classifies and bounds-checks any access —
+//! even a stale speculative one.
+
+use core::fmt;
+
+/// A class (type) identifier, analogous to a Java class pointer.
+///
+/// # Examples
+///
+/// ```
+/// use solero_heap::ClassId;
+///
+/// const NODE: ClassId = ClassId::new(3);
+/// assert_eq!(NODE.raw(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(u16);
+
+impl ClassId {
+    /// The class id of freed storage; never a valid program class.
+    pub const FREED: ClassId = ClassId(u16::MAX);
+
+    /// Creates a class id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` collides with the reserved freed marker.
+    pub const fn new(raw: u16) -> Self {
+        assert!(raw != u16::MAX, "class id u16::MAX is reserved");
+        ClassId(raw)
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    pub(crate) const fn from_raw_unchecked(raw: u16) -> Self {
+        ClassId(raw)
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// A reference to a shadow-heap object. `ObjRef::NULL` models Java
+/// `null`.
+///
+/// # Examples
+///
+/// ```
+/// use solero_heap::ObjRef;
+///
+/// assert!(ObjRef::NULL.is_null());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjRef(pub(crate) u32);
+
+impl ObjRef {
+    /// The null reference.
+    pub const NULL: ObjRef = ObjRef(0);
+
+    /// True for the null reference.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw handle value (the header word offset).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a reference from a raw handle, e.g. one read out of
+    /// an object slot. A zero raw value yields [`ObjRef::NULL`].
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        ObjRef(raw)
+    }
+}
+
+impl Default for ObjRef {
+    fn default() -> Self {
+        ObjRef::NULL
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "null")
+        } else {
+            write!(f, "obj@{}", self.0)
+        }
+    }
+}
+
+/// Header word layout: `class (16) | len (32) | generation (16)`.
+///
+/// The generation counter increments on every free, so a stale handle
+/// whose storage was recycled for the *same* class and length is still
+/// usually detectable by collections that remember generations; the
+/// primary detectors remain the class and bounds checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Header(pub u64);
+
+impl Header {
+    pub fn new(class: ClassId, len: u32, generation: u16) -> Self {
+        Header((class.0 as u64) << 48 | (len as u64) << 16 | generation as u64)
+    }
+
+    pub fn class(self) -> ClassId {
+        ClassId::from_raw_unchecked((self.0 >> 48) as u16)
+    }
+
+    pub fn len(self) -> u32 {
+        (self.0 >> 16) as u32
+    }
+
+    pub fn generation(self) -> u16 {
+        self.0 as u16
+    }
+
+    pub fn is_freed(self) -> bool {
+        self.class() == ClassId::FREED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header::new(ClassId::new(7), 123_456, 42);
+        assert_eq!(h.class(), ClassId::new(7));
+        assert_eq!(h.len(), 123_456);
+        assert_eq!(h.generation(), 42);
+        assert!(!h.is_freed());
+    }
+
+    #[test]
+    fn freed_marker() {
+        let h = Header::new(ClassId::FREED, 4, 0);
+        assert!(h.is_freed());
+    }
+
+    #[test]
+    fn null_ref() {
+        assert!(ObjRef::NULL.is_null());
+        assert!(!ObjRef::from_raw(5).is_null());
+        assert_eq!(ObjRef::from_raw(0), ObjRef::NULL);
+        assert_eq!(format!("{}", ObjRef::NULL), "null");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_class_panics() {
+        let _ = ClassId::new(u16::MAX);
+    }
+}

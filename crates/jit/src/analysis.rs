@@ -1,0 +1,547 @@
+//! Synchronized-region discovery and read-only classification (§3.2).
+//!
+//! The paper's JIT marks a synchronized block read-only when it contains
+//! none of:
+//!
+//! * writes to instance variables, static variables, or array elements;
+//! * writes to locals **live at the beginning** of the critical section
+//!   (restoring them after a failed speculation would need checkpoints);
+//! * method invocations, other than those that throw runtime exceptions
+//!   — unless the callee is provably side-effect free or the enclosing
+//!   method carries the `@SoleroReadOnly` annotation.
+//!
+//! We additionally treat object allocation and nested `monitorenter` as
+//! disqualifying (the paper notes allocation "rarely occurs" in
+//! read-only blocks because constructors write instance fields — we are
+//! conservative and reject it outright).
+//!
+//! The §5 **read-mostly** extension classifies a region whose only
+//! violations are heap writes sitting in *cold* (profile-rare) blocks:
+//! those regions elide too, upgrading in place at the first write.
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::ir::{Inst, LocalId, LockId, Method, MethodId, Point, Program};
+use crate::liveness::Liveness;
+
+/// A discovered synchronized region.
+#[derive(Debug, Clone)]
+pub struct SyncRegion {
+    /// The lock the region synchronizes on.
+    pub lock: LockId,
+    /// The point of the opening `monitorenter`.
+    pub enter: Point,
+    /// Instruction points strictly inside the region (excluding the
+    /// enter and the matching exits).
+    pub members: BTreeSet<Point>,
+    /// Points of the matching `monitorexit` instructions.
+    pub exits: Vec<Point>,
+    /// Blocks any part of the region touches.
+    pub blocks: BTreeSet<u32>,
+}
+
+/// The classification of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionClass {
+    /// No writes, no side effects: elide unconditionally.
+    ReadOnly,
+    /// Writes only on cold paths: elide with in-place upgrade (§5).
+    ReadMostly,
+    /// Potentially writing: conventional locking.
+    Writing,
+}
+
+/// Why a region is not read-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reason {
+    /// A `putfield`/`arraystore` inside the region.
+    HeapWrite,
+    /// A `new` inside the region.
+    Allocation,
+    /// A write to a local that is live at region entry.
+    LiveLocalWrite(LocalId),
+    /// An invoke whose callee is not provably side-effect free.
+    ImpureInvoke(MethodId),
+    /// A nested `monitorenter` (any lock).
+    NestedMonitor(LockId),
+}
+
+/// One disqualifying instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Where.
+    pub point: Point,
+    /// Why.
+    pub reason: Reason,
+    /// Whether the containing block is cold (profile-rare).
+    pub cold: bool,
+}
+
+/// A region together with its classification evidence.
+#[derive(Debug, Clone)]
+pub struct ClassifiedRegion {
+    /// The region.
+    pub region: SyncRegion,
+    /// The classification.
+    pub class: RegionClass,
+    /// Every violation found (empty for [`RegionClass::ReadOnly`]).
+    pub violations: Vec<Violation>,
+}
+
+/// Discovers all synchronized regions of a verified method.
+///
+/// Traverses program points forward from each `monitorenter`, tracking
+/// the nesting depth of that lock, until the matching `monitorexit` on
+/// every path.
+pub fn discover_regions(m: &Method) -> Vec<SyncRegion> {
+    let mut regions = Vec::new();
+    for (bi, b) in m.blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if let Inst::MonitorEnter { lock } = inst {
+                regions.push(trace_region(
+                    m,
+                    *lock,
+                    Point {
+                        block: bi as u32,
+                        inst: ii,
+                    },
+                ));
+            }
+        }
+    }
+    regions
+}
+
+fn trace_region(m: &Method, lock: LockId, enter: Point) -> SyncRegion {
+    let mut members = BTreeSet::new();
+    let mut exits = Vec::new();
+    let mut blocks = BTreeSet::new();
+    blocks.insert(enter.block);
+    // Worklist of (point, depth) with depth ≥ 1.
+    let mut seen: HashSet<(Point, u32)> = HashSet::new();
+    let mut work = vec![(
+        Point {
+            block: enter.block,
+            inst: enter.inst + 1,
+        },
+        1u32,
+    )];
+    while let Some((p, depth)) = work.pop() {
+        if !seen.insert((p, depth)) {
+            continue;
+        }
+        let b = m.block(p.block);
+        blocks.insert(p.block);
+        if p.inst == b.insts.len() {
+            // Terminator: follow successors (the verifier guarantees no
+            // return escapes with the monitor held).
+            for s in b.term.successors() {
+                work.push((Point { block: s, inst: 0 }, depth));
+            }
+            continue;
+        }
+        let inst = &b.insts[p.inst];
+        let next = Point {
+            block: p.block,
+            inst: p.inst + 1,
+        };
+        match inst {
+            Inst::MonitorEnter { lock: l } if *l == lock => {
+                members.insert(p);
+                work.push((next, depth + 1));
+            }
+            Inst::MonitorExit { lock: l } if *l == lock => {
+                if depth == 1 {
+                    exits.push(p);
+                } else {
+                    members.insert(p);
+                    work.push((next, depth - 1));
+                }
+            }
+            _ => {
+                members.insert(p);
+                work.push((next, depth));
+            }
+        }
+    }
+    exits.sort_unstable();
+    exits.dedup();
+    SyncRegion {
+        lock,
+        enter,
+        members,
+        exits,
+        blocks,
+    }
+}
+
+/// Computes, for every method, whether a call to it is side-effect free
+/// ("pure"): annotated `@SoleroReadOnly`, or transitively free of heap
+/// writes, allocation, monitor operations, and impure calls. Cycles are
+/// conservatively impure unless annotated.
+pub fn method_purity(p: &Program) -> Vec<bool> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unknown,
+        InProgress,
+        Pure,
+        Impure,
+    }
+    fn visit(p: &Program, id: usize, st: &mut Vec<State>) -> bool {
+        match st[id] {
+            State::Pure => return true,
+            State::Impure => return false,
+            State::InProgress => return false, // recursion: conservative
+            State::Unknown => {}
+        }
+        if p.methods[id].solero_read_only {
+            st[id] = State::Pure;
+            return true;
+        }
+        st[id] = State::InProgress;
+        let mut pure = true;
+        'outer: for b in &p.methods[id].blocks {
+            for i in &b.insts {
+                match i {
+                    Inst::PutField { .. }
+                    | Inst::ArrayStore { .. }
+                    | Inst::New { .. }
+                    | Inst::MonitorEnter { .. }
+                    | Inst::MonitorExit { .. } => {
+                        pure = false;
+                        break 'outer;
+                    }
+                    Inst::Invoke { method, .. } => {
+                        if !visit(p, *method as usize, st) {
+                            pure = false;
+                            break 'outer;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        st[id] = if pure { State::Pure } else { State::Impure };
+        pure
+    }
+    let mut st = vec![State::Unknown; p.methods.len()];
+    (0..p.methods.len())
+        .map(|i| visit(p, i, &mut st))
+        .collect()
+}
+
+/// Classifies every synchronized region of method `mid`.
+pub fn classify_method(p: &Program, mid: MethodId) -> Vec<ClassifiedRegion> {
+    let m = p.method(mid);
+    let purity = method_purity(p);
+    let liveness = Liveness::compute(m);
+    discover_regions(m)
+        .into_iter()
+        .map(|region| classify_region(p, m, region, &purity, &liveness))
+        .collect()
+}
+
+fn classify_region(
+    p: &Program,
+    m: &Method,
+    region: SyncRegion,
+    purity: &[bool],
+    liveness: &Liveness,
+) -> ClassifiedRegion {
+    // Locals live at the beginning of the critical section.
+    let live_at_entry = liveness.live_at(m, region.enter);
+    let mut violations = Vec::new();
+    for &pt in &region.members {
+        let b = m.block(pt.block);
+        let inst = &b.insts[pt.inst];
+        let mut add = |reason| {
+            violations.push(Violation {
+                point: pt,
+                reason,
+                cold: b.cold,
+            })
+        };
+        match inst {
+            Inst::PutField { .. } | Inst::ArrayStore { .. } => add(Reason::HeapWrite),
+            Inst::New { .. } => add(Reason::Allocation),
+            Inst::MonitorEnter { lock } | Inst::MonitorExit { lock } => {
+                add(Reason::NestedMonitor(*lock))
+            }
+            Inst::Invoke { method, .. } => {
+                if !purity[*method as usize] {
+                    add(Reason::ImpureInvoke(*method));
+                }
+            }
+            _ => {}
+        }
+        if let Some(d) = inst.def() {
+            if live_at_entry.contains(&d) {
+                violations.push(Violation {
+                    point: pt,
+                    reason: Reason::LiveLocalWrite(d),
+                    cold: b.cold,
+                });
+            }
+        }
+    }
+    let class = if m.solero_read_only || violations.is_empty() {
+        // The @SoleroReadOnly annotation overrides the analysis (the
+        // paper introduces it precisely for regions the analysis cannot
+        // prove read-only, e.g. virtual calls).
+        RegionClass::ReadOnly
+    } else if violations.iter().all(|v| {
+        v.cold
+            && matches!(
+                v.reason,
+                Reason::HeapWrite | Reason::Allocation | Reason::LiveLocalWrite(_)
+            )
+    }) {
+        RegionClass::ReadMostly
+    } else {
+        RegionClass::Writing
+    };
+    let _ = p;
+    ClassifiedRegion {
+        region,
+        class,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MethodBuilder;
+    use crate::ir::{BinOp, Cmp};
+    use solero_heap::ClassId;
+
+    const C: ClassId = ClassId::new(1);
+
+    fn single(p: &Program, mid: MethodId) -> ClassifiedRegion {
+        let mut rs = classify_method(p, mid);
+        assert_eq!(rs.len(), 1, "expected one region");
+        rs.remove(0)
+    }
+
+    #[test]
+    fn pure_read_region_is_read_only() {
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("get", 1);
+        let obj = 0;
+        let v = b.fresh_local();
+        b.monitor_enter(0)
+            .get_field(v, obj, C, 0)
+            .monitor_exit(0)
+            .ret(Some(v));
+        let mid = p.add(b.finish());
+        let r = single(&p, mid);
+        assert_eq!(r.class, RegionClass::ReadOnly);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.region.exits.len(), 1);
+    }
+
+    #[test]
+    fn heap_write_disqualifies() {
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("set", 2);
+        b.monitor_enter(0)
+            .put_field(0, C, 0, 1)
+            .monitor_exit(0)
+            .ret(None);
+        let mid = p.add(b.finish());
+        let r = single(&p, mid);
+        assert_eq!(r.class, RegionClass::Writing);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].reason, Reason::HeapWrite);
+    }
+
+    #[test]
+    fn allocation_disqualifies() {
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("mk", 0);
+        let t = b.fresh_local();
+        b.monitor_enter(0).new_object(t, C, 2).monitor_exit(0).ret(None);
+        let mid = p.add(b.finish());
+        assert_eq!(single(&p, mid).class, RegionClass::Writing);
+    }
+
+    #[test]
+    fn dead_local_write_is_allowed() {
+        // A scratch local defined *inside* the region is not live at
+        // entry, so writing it is fine.
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("scratch", 1);
+        let tmp = b.fresh_local();
+        b.monitor_enter(0)
+            .get_field(tmp, 0, C, 0)
+            .binop(BinOp::Add, tmp, tmp, tmp)
+            .monitor_exit(0)
+            .ret(Some(tmp));
+        let mid = p.add(b.finish());
+        assert_eq!(single(&p, mid).class, RegionClass::ReadOnly);
+    }
+
+    #[test]
+    fn live_local_write_disqualifies() {
+        // `acc` is initialized before the region and read after it, so
+        // it is live at entry; the region increments it.
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("acc", 1);
+        let acc = b.fresh_local();
+        let v = b.fresh_local();
+        b.constant(acc, 0)
+            .monitor_enter(0)
+            .get_field(v, 0, C, 0)
+            .binop(BinOp::Add, acc, acc, v)
+            .monitor_exit(0)
+            .ret(Some(acc));
+        let mid = p.add(b.finish());
+        let r = single(&p, mid);
+        assert_eq!(r.class, RegionClass::Writing);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v.reason, Reason::LiveLocalWrite(_))));
+    }
+
+    #[test]
+    fn pure_callee_is_allowed_impure_is_not() {
+        let mut p = Program::new();
+        // Pure helper: doubles its argument.
+        let mut pure = MethodBuilder::new("pure", 1);
+        let r = pure.fresh_local();
+        pure.binop(BinOp::Add, r, 0, 0).ret(Some(r));
+        let pure_id = p.add(pure.finish());
+        // Impure helper: writes a field.
+        let mut impure = MethodBuilder::new("impure", 1);
+        impure.put_field(0, C, 0, 0).ret(None);
+        let impure_id = p.add(impure.finish());
+
+        let mut ok = MethodBuilder::new("calls_pure", 1);
+        let t = ok.fresh_local();
+        ok.monitor_enter(0)
+            .invoke(Some(t), pure_id, &[0])
+            .monitor_exit(0)
+            .ret(Some(t));
+        let ok_id = p.add(ok.finish());
+
+        let mut bad = MethodBuilder::new("calls_impure", 1);
+        bad.monitor_enter(0)
+            .invoke(None, impure_id, &[0])
+            .monitor_exit(0)
+            .ret(None);
+        let bad_id = p.add(bad.finish());
+
+        assert_eq!(single(&p, ok_id).class, RegionClass::ReadOnly);
+        let r = single(&p, bad_id);
+        assert_eq!(r.class, RegionClass::Writing);
+        assert_eq!(r.violations[0].reason, Reason::ImpureInvoke(impure_id));
+    }
+
+    #[test]
+    fn annotation_overrides_analysis() {
+        // A virtual-call-like region the analysis cannot prove pure,
+        // force-classified by @SoleroReadOnly.
+        let mut p = Program::new();
+        let mut callee = MethodBuilder::new("opaque", 1);
+        callee.annotate_read_only();
+        // Body LOOKS impure to a conservative analysis only through
+        // calls; here make the *caller* annotated instead.
+        let cr = callee.fresh_local();
+        callee.get_field(cr, 0, C, 0).ret(Some(cr));
+        let callee_id = p.add(callee.finish());
+
+        let mut m = MethodBuilder::new("annotated_caller", 1);
+        m.annotate_read_only();
+        let t = m.fresh_local();
+        // A live-local write that would normally disqualify:
+        m.constant(t, 0)
+            .monitor_enter(0)
+            .invoke(Some(t), callee_id, &[0])
+            .binop(BinOp::Add, t, t, t)
+            .monitor_exit(0)
+            .ret(Some(t));
+        let mid = p.add(m.finish());
+        assert_eq!(single(&p, mid).class, RegionClass::ReadOnly);
+    }
+
+    #[test]
+    fn nested_monitor_disqualifies() {
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("nested", 0);
+        b.monitor_enter(0)
+            .monitor_enter(1)
+            .monitor_exit(1)
+            .monitor_exit(0)
+            .ret(None);
+        let mid = p.add(b.finish());
+        // Two regions are discovered; the outer one is disqualified by
+        // the nested monitor, the inner one is read-only.
+        let rs = classify_method(&p, mid);
+        assert_eq!(rs.len(), 2);
+        let outer = rs.iter().find(|r| r.region.lock == 0).unwrap();
+        let inner = rs.iter().find(|r| r.region.lock == 1).unwrap();
+        assert_eq!(outer.class, RegionClass::Writing);
+        assert_eq!(inner.class, RegionClass::ReadOnly);
+    }
+
+    #[test]
+    fn cold_write_makes_read_mostly() {
+        // if (obj.f == key) { /* cold */ obj.g = v }
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("mostly", 3);
+        let (obj, key, val) = (0, 1, 2);
+        let f = b.fresh_local();
+        let hot_exit = b.new_block();
+        let cold_write = b.new_block();
+        b.monitor_enter(0)
+            .get_field(f, obj, C, 0)
+            .branch(f, Cmp::Eq, key, cold_write, hot_exit);
+        b.switch_to(cold_write).put_field(obj, C, 1, val).jump(hot_exit);
+        b.mark_cold(cold_write);
+        b.switch_to(hot_exit).monitor_exit(0).ret(None);
+        let mid = p.add(b.finish());
+        let r = single(&p, mid);
+        assert_eq!(r.class, RegionClass::ReadMostly);
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].cold);
+    }
+
+    #[test]
+    fn hot_write_is_not_read_mostly() {
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("hot", 2);
+        b.monitor_enter(0).put_field(0, C, 0, 1).monitor_exit(0).ret(None);
+        let mid = p.add(b.finish());
+        assert_eq!(single(&p, mid).class, RegionClass::Writing);
+    }
+
+    #[test]
+    fn multi_block_region_with_loop_is_discovered() {
+        // synchronized { while (i < n) { v = a[i]; i++ } }
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("scan", 2);
+        let (arr, n) = (0, 1);
+        let i = b.fresh_local();
+        let v = b.fresh_local();
+        let one = b.fresh_local();
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.monitor_enter(0)
+            .constant(i, 0)
+            .constant(one, 1)
+            .constant(v, 0) // define v inside the region: not live at entry
+            .jump(head);
+        b.switch_to(head).branch(i, Cmp::Lt, n, body, done);
+        b.switch_to(body)
+            .array_load(v, arr, C, i)
+            .binop(BinOp::Add, i, i, one)
+            .jump(head);
+        b.switch_to(done).monitor_exit(0).ret(Some(v));
+        let mid = p.add(b.finish());
+        let r = single(&p, mid);
+        assert_eq!(r.class, RegionClass::ReadOnly);
+        assert!(r.region.blocks.len() >= 4, "region spans the loop blocks");
+    }
+}

@@ -1,0 +1,262 @@
+//! Fluent construction of IR methods.
+//!
+//! Tests, examples, and the workload programs build methods through
+//! [`MethodBuilder`], which allocates locals and blocks and keeps the
+//! common cases one-liners.
+
+use solero_heap::ClassId;
+
+use crate::ir::{BinOp, Block, BlockId, Cmp, Inst, LocalId, LockId, Method, MethodId, Terminator};
+
+/// Builder for one [`Method`].
+///
+/// # Examples
+///
+/// Build `fn double(x) { return x + x; }`:
+///
+/// ```
+/// use solero_jit::builder::MethodBuilder;
+/// use solero_jit::ir::{BinOp, Terminator};
+///
+/// let mut b = MethodBuilder::new("double", 1);
+/// let x = 0; // parameter 0
+/// let r = b.fresh_local();
+/// b.binop(BinOp::Add, r, x, x);
+/// b.terminate(Terminator::Return(Some(r)));
+/// let method = b.finish();
+/// assert_eq!(method.name, "double");
+/// ```
+#[derive(Debug)]
+pub struct MethodBuilder {
+    name: String,
+    params: u16,
+    next_local: u16,
+    blocks: Vec<Block>,
+    current: BlockId,
+    solero_read_only: bool,
+}
+
+impl MethodBuilder {
+    /// Starts a method with `params` parameters in locals `0..params`.
+    /// Block 0 is created and made current.
+    pub fn new(name: impl Into<String>, params: u16) -> Self {
+        MethodBuilder {
+            name: name.into(),
+            params,
+            next_local: params,
+            blocks: vec![Block {
+                insts: vec![],
+                term: Terminator::Return(None),
+                cold: false,
+            }],
+            current: 0,
+            solero_read_only: false,
+        }
+    }
+
+    /// Marks the method `@SoleroReadOnly`.
+    pub fn annotate_read_only(&mut self) -> &mut Self {
+        self.solero_read_only = true;
+        self
+    }
+
+    /// Allocates a fresh local slot.
+    pub fn fresh_local(&mut self) -> LocalId {
+        let l = self.next_local;
+        self.next_local += 1;
+        l
+    }
+
+    /// Creates a new (empty) block and returns its id; the current block
+    /// is unchanged.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block {
+            insts: vec![],
+            term: Terminator::Return(None),
+            cold: false,
+        });
+        (self.blocks.len() - 1) as BlockId
+    }
+
+    /// Switches the current block.
+    pub fn switch_to(&mut self, b: BlockId) -> &mut Self {
+        self.current = b;
+        self
+    }
+
+    /// The current block id.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Marks a block cold (profile hint for the read-mostly classifier).
+    pub fn mark_cold(&mut self, b: BlockId) -> &mut Self {
+        self.blocks[b as usize].cold = true;
+        self
+    }
+
+    /// Appends a raw instruction to the current block.
+    pub fn push(&mut self, i: Inst) -> &mut Self {
+        self.blocks[self.current as usize].insts.push(i);
+        self
+    }
+
+    /// `dst = value`.
+    pub fn constant(&mut self, dst: LocalId, value: i64) -> &mut Self {
+        self.push(Inst::Const { dst, value })
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: LocalId, src: LocalId) -> &mut Self {
+        self.push(Inst::Move { dst, src })
+    }
+
+    /// `dst = lhs <op> rhs`.
+    pub fn binop(&mut self, op: BinOp, dst: LocalId, lhs: LocalId, rhs: LocalId) -> &mut Self {
+        self.push(Inst::BinOp { op, dst, lhs, rhs })
+    }
+
+    /// `dst = new class[len]`.
+    pub fn new_object(&mut self, dst: LocalId, class: ClassId, len: u32) -> &mut Self {
+        self.push(Inst::New { dst, class, len })
+    }
+
+    /// `dst = obj.field`.
+    pub fn get_field(&mut self, dst: LocalId, obj: LocalId, class: ClassId, field: u32) -> &mut Self {
+        self.push(Inst::GetField {
+            dst,
+            obj,
+            class,
+            field,
+        })
+    }
+
+    /// `obj.field = src`.
+    pub fn put_field(&mut self, obj: LocalId, class: ClassId, field: u32, src: LocalId) -> &mut Self {
+        self.push(Inst::PutField {
+            obj,
+            class,
+            field,
+            src,
+        })
+    }
+
+    /// `dst = arr.length`.
+    pub fn array_len(&mut self, dst: LocalId, arr: LocalId) -> &mut Self {
+        self.push(Inst::ArrayLen { dst, arr })
+    }
+
+    /// `dst = arr[index]`.
+    pub fn array_load(&mut self, dst: LocalId, arr: LocalId, class: ClassId, index: LocalId) -> &mut Self {
+        self.push(Inst::ArrayLoad {
+            dst,
+            arr,
+            class,
+            index,
+        })
+    }
+
+    /// `arr[index] = src`.
+    pub fn array_store(&mut self, arr: LocalId, class: ClassId, index: LocalId, src: LocalId) -> &mut Self {
+        self.push(Inst::ArrayStore {
+            arr,
+            class,
+            index,
+            src,
+        })
+    }
+
+    /// Opens a synchronized region on `lock`.
+    pub fn monitor_enter(&mut self, lock: LockId) -> &mut Self {
+        self.push(Inst::MonitorEnter { lock })
+    }
+
+    /// Closes the synchronized region on `lock`.
+    pub fn monitor_exit(&mut self, lock: LockId) -> &mut Self {
+        self.push(Inst::MonitorExit { lock })
+    }
+
+    /// `dst = method(args...)`.
+    pub fn invoke(&mut self, dst: Option<LocalId>, method: MethodId, args: &[LocalId]) -> &mut Self {
+        self.push(Inst::Invoke {
+            dst,
+            method,
+            args: args.to_vec(),
+        })
+    }
+
+    /// Sets the current block's terminator.
+    pub fn terminate(&mut self, t: Terminator) -> &mut Self {
+        self.blocks[self.current as usize].term = t;
+        self
+    }
+
+    /// Terminates with an unconditional jump.
+    pub fn jump(&mut self, b: BlockId) -> &mut Self {
+        self.terminate(Terminator::Jump(b))
+    }
+
+    /// Terminates with a conditional branch.
+    pub fn branch(
+        &mut self,
+        lhs: LocalId,
+        cmp: Cmp,
+        rhs: LocalId,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> &mut Self {
+        self.terminate(Terminator::Branch {
+            lhs,
+            cmp,
+            rhs,
+            then_bb,
+            else_bb,
+        })
+    }
+
+    /// Terminates with a return.
+    pub fn ret(&mut self, v: Option<LocalId>) -> &mut Self {
+        self.terminate(Terminator::Return(v))
+    }
+
+    /// Finishes the method.
+    pub fn finish(self) -> Method {
+        Method {
+            name: self.name,
+            params: self.params,
+            locals: self.next_local,
+            blocks: self.blocks,
+            solero_read_only: self.solero_read_only,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_loop() {
+        // sum = 0; for i in 0..n { sum += i }
+        let mut b = MethodBuilder::new("sum_to", 1);
+        let n = 0;
+        let i = b.fresh_local();
+        let sum = b.fresh_local();
+        let one = b.fresh_local();
+        b.constant(i, 0).constant(sum, 0).constant(one, 1);
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.jump(head);
+        b.switch_to(head).branch(i, Cmp::Lt, n, body, done);
+        b.switch_to(body)
+            .binop(BinOp::Add, sum, sum, i)
+            .binop(BinOp::Add, i, i, one)
+            .jump(head);
+        b.switch_to(done).ret(Some(sum));
+        let m = b.finish();
+        assert_eq!(m.blocks.len(), 4);
+        assert_eq!(m.locals, 4);
+        assert_eq!(m.block(1).term.successors(), vec![2, 3]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Textual disassembly of IR programs.
+//!
+//! Human-readable dumps for diagnostics, tests, and the examples —
+//! optionally annotated with the lock plan chosen for each
+//! `monitorenter`, which is how one inspects what the "JIT" decided:
+//!
+//! ```text
+//! fn lookup(params=2, locals=3):
+//!   bb0:
+//!     monitorenter L0            ; plan=Elide
+//!     l2 = l0.f0 : class#2
+//!     monitorexit L0
+//!     return l2
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::ir::{BinOp, Cmp, Inst, Method, Point, Program, Terminator};
+use crate::lower::{LockPlan, ProgramPlan};
+
+fn binop_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+    }
+}
+
+fn cmp_symbol(c: Cmp) -> &'static str {
+    match c {
+        Cmp::Eq => "==",
+        Cmp::Ne => "!=",
+        Cmp::Lt => "<",
+        Cmp::Le => "<=",
+        Cmp::Gt => ">",
+        Cmp::Ge => ">=",
+    }
+}
+
+fn fmt_inst(i: &Inst) -> String {
+    match i {
+        Inst::Const { dst, value } => format!("l{dst} = {value}"),
+        Inst::Move { dst, src } => format!("l{dst} = l{src}"),
+        Inst::BinOp { op, dst, lhs, rhs } => {
+            format!("l{dst} = l{lhs} {} l{rhs}", binop_symbol(*op))
+        }
+        Inst::New { dst, class, len } => format!("l{dst} = new {class}[{len}]"),
+        Inst::GetField {
+            dst,
+            obj,
+            class,
+            field,
+        } => format!("l{dst} = l{obj}.f{field} : {class}"),
+        Inst::PutField {
+            obj,
+            class,
+            field,
+            src,
+        } => format!("l{obj}.f{field} = l{src} : {class}"),
+        Inst::ArrayLen { dst, arr } => format!("l{dst} = l{arr}.length"),
+        Inst::ArrayLoad {
+            dst,
+            arr,
+            class,
+            index,
+        } => format!("l{dst} = l{arr}[l{index}] : {class}"),
+        Inst::ArrayStore {
+            arr,
+            class,
+            index,
+            src,
+        } => format!("l{arr}[l{index}] = l{src} : {class}"),
+        Inst::MonitorEnter { lock } => format!("monitorenter L{lock}"),
+        Inst::MonitorExit { lock } => format!("monitorexit L{lock}"),
+        Inst::Invoke { dst, method, args } => {
+            let args = args
+                .iter()
+                .map(|a| format!("l{a}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            match dst {
+                Some(d) => format!("l{d} = call m{method}({args})"),
+                None => format!("call m{method}({args})"),
+            }
+        }
+    }
+}
+
+fn fmt_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump bb{b}"),
+        Terminator::Branch {
+            lhs,
+            cmp,
+            rhs,
+            then_bb,
+            else_bb,
+        } => format!(
+            "if l{lhs} {} l{rhs} goto bb{then_bb} else bb{else_bb}",
+            cmp_symbol(*cmp)
+        ),
+        Terminator::Return(Some(v)) => format!("return l{v}"),
+        Terminator::Return(None) => "return".into(),
+    }
+}
+
+/// Disassembles one method, optionally annotating `monitorenter`s with
+/// their lock plans.
+pub fn disassemble_method(m: &Method, mid: u32, plan: Option<&ProgramPlan>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fn {}(params={}, locals={}){}:",
+        m.name,
+        m.params,
+        m.locals,
+        if m.solero_read_only {
+            " @SoleroReadOnly"
+        } else {
+            ""
+        }
+    );
+    for (bi, b) in m.blocks.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  bb{bi}:{}",
+            if b.cold { "    ; cold" } else { "" }
+        );
+        for (ii, i) in b.insts.iter().enumerate() {
+            let mut line = format!("    {}", fmt_inst(i));
+            if matches!(i, Inst::MonitorEnter { .. }) {
+                if let Some(plan) = plan {
+                    if let Some(pr) = plan.region_at(
+                        mid,
+                        Point {
+                            block: bi as u32,
+                            inst: ii,
+                        },
+                    ) {
+                        let tag = match pr.plan {
+                            LockPlan::Elide => "Elide",
+                            LockPlan::ElideMostly => "ElideMostly",
+                            LockPlan::Conventional => "Conventional",
+                        };
+                        let _ = write!(line, "            ; plan={tag}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out, "    {}", fmt_term(&b.term));
+    }
+    out
+}
+
+/// Disassembles a whole program with plan annotations.
+pub fn disassemble(p: &Program, plan: Option<&ProgramPlan>) -> String {
+    let mut out = String::new();
+    for (mi, m) in p.methods.iter().enumerate() {
+        out.push_str(&disassemble_method(m, mi as u32, plan));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MethodBuilder;
+    use solero_heap::ClassId;
+
+    const C: ClassId = ClassId::new(3);
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("get", 1);
+        let v = b.fresh_local();
+        b.monitor_enter(0)
+            .get_field(v, 0, C, 1)
+            .monitor_exit(0)
+            .ret(Some(v));
+        p.add(b.finish());
+        p
+    }
+
+    #[test]
+    fn disassembly_mentions_every_construct() {
+        let p = sample();
+        let text = disassemble(&p, None);
+        assert!(text.contains("fn get(params=1, locals=2):"));
+        assert!(text.contains("monitorenter L0"));
+        assert!(text.contains("l1 = l0.f1 : class#3"));
+        assert!(text.contains("monitorexit L0"));
+        assert!(text.contains("return l1"));
+    }
+
+    #[test]
+    fn plan_annotation_appears() {
+        let p = sample();
+        let plan = ProgramPlan::compute(&p);
+        let text = disassemble(&p, Some(&plan));
+        assert!(text.contains("plan=Elide"), "{text}");
+    }
+
+    #[test]
+    fn all_instructions_format() {
+        use crate::ir::{Block, Method};
+        let insts = vec![
+            Inst::Const { dst: 0, value: -3 },
+            Inst::Move { dst: 1, src: 0 },
+            Inst::BinOp {
+                op: BinOp::Shl,
+                dst: 1,
+                lhs: 0,
+                rhs: 1,
+            },
+            Inst::New {
+                dst: 0,
+                class: C,
+                len: 4,
+            },
+            Inst::ArrayLen { dst: 1, arr: 0 },
+            Inst::ArrayLoad {
+                dst: 1,
+                arr: 0,
+                class: C,
+                index: 1,
+            },
+            Inst::ArrayStore {
+                arr: 0,
+                class: C,
+                index: 1,
+                src: 1,
+            },
+            Inst::Invoke {
+                dst: None,
+                method: 0,
+                args: vec![0, 1],
+            },
+        ];
+        let m = Method {
+            name: "all".into(),
+            params: 0,
+            locals: 2,
+            blocks: vec![Block {
+                insts,
+                term: Terminator::Return(None),
+                cold: true,
+            }],
+            solero_read_only: true,
+        };
+        let text = disassemble_method(&m, 0, None);
+        for needle in [
+            "@SoleroReadOnly",
+            "; cold",
+            "l0 = -3",
+            "l1 = l0",
+            "l1 = l0 << l1",
+            "new class#3[4]",
+            "l1 = l0.length",
+            "l1 = l0[l1]",
+            "l0[l1] = l1",
+            "call m0(l0, l1)",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

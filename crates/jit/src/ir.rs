@@ -1,0 +1,434 @@
+//! The bytecode-like intermediate representation.
+//!
+//! The paper's JIT compiler inspects Java bytecode for synchronized
+//! blocks and classifies them as read-only (no heap writes, no
+//! side-effecting calls, no writes to locals live at region entry).
+//! This IR models the relevant fragment: a register machine over `i64`
+//! locals (object references are raw shadow-heap handles), heap access
+//! instructions typed by [`ClassId`], structured control flow through
+//! basic blocks, and `monitorenter`/`monitorexit` on statically
+//! identified locks.
+
+use core::fmt;
+
+use solero_heap::ClassId;
+
+/// Index of a local variable slot within a frame.
+pub type LocalId = u16;
+/// Index of a basic block within a method.
+pub type BlockId = u32;
+/// Index of a method within a [`Program`].
+pub type MethodId = u32;
+/// Static identity of a lock (the "monitor object") — bound to a real
+/// lock by the interpreter's lock table.
+pub type LockId = u32;
+
+/// Binary arithmetic / bitwise operators. `Div` and `Rem` fault on a
+/// zero divisor, like the JVM's `idiv`/`irem`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; faults on zero divisor.
+    Div,
+    /// Remainder; faults on zero divisor.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (modulo 64).
+    Shl,
+    /// Arithmetic shift right (modulo 64).
+    Shr,
+}
+
+/// Comparison operators for [`Terminator::Branch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (signed).
+    Lt,
+    /// Less or equal (signed).
+    Le,
+    /// Greater than (signed).
+    Gt,
+    /// Greater or equal (signed).
+    Ge,
+}
+
+impl Cmp {
+    /// Evaluates the comparison.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = value`.
+    Const {
+        /// Destination local.
+        dst: LocalId,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = src`.
+    Move {
+        /// Destination local.
+        dst: LocalId,
+        /// Source local.
+        src: LocalId,
+    },
+    /// `dst = lhs <op> rhs`.
+    BinOp {
+        /// Operator.
+        op: BinOp,
+        /// Destination local.
+        dst: LocalId,
+        /// Left operand local.
+        lhs: LocalId,
+        /// Right operand local.
+        rhs: LocalId,
+    },
+    /// Allocates a `class` object with `len` slots; `dst` receives the
+    /// handle. A heap side effect: never allowed in read-only regions.
+    New {
+        /// Destination local (receives the handle).
+        dst: LocalId,
+        /// Class of the new object.
+        class: ClassId,
+        /// Slot count.
+        len: u32,
+    },
+    /// `dst = obj.field` (class-checked heap load).
+    GetField {
+        /// Destination local.
+        dst: LocalId,
+        /// Local holding the object handle.
+        obj: LocalId,
+        /// Expected class of the object.
+        class: ClassId,
+        /// Field (slot) index.
+        field: u32,
+    },
+    /// `obj.field = src` (heap write).
+    PutField {
+        /// Local holding the object handle.
+        obj: LocalId,
+        /// Expected class of the object.
+        class: ClassId,
+        /// Field (slot) index.
+        field: u32,
+        /// Source local.
+        src: LocalId,
+    },
+    /// `dst = arr.length`.
+    ArrayLen {
+        /// Destination local.
+        dst: LocalId,
+        /// Local holding the array handle.
+        arr: LocalId,
+    },
+    /// `dst = arr[index]` (bounds-checked heap load).
+    ArrayLoad {
+        /// Destination local.
+        dst: LocalId,
+        /// Local holding the array handle.
+        arr: LocalId,
+        /// Expected class of the array object.
+        class: ClassId,
+        /// Local holding the index.
+        index: LocalId,
+    },
+    /// `arr[index] = src` (heap write).
+    ArrayStore {
+        /// Local holding the array handle.
+        arr: LocalId,
+        /// Expected class of the array object.
+        class: ClassId,
+        /// Local holding the index.
+        index: LocalId,
+        /// Source local.
+        src: LocalId,
+    },
+    /// Enters the monitor of lock `lock` — opens a synchronized region.
+    MonitorEnter {
+        /// Static lock identity.
+        lock: LockId,
+    },
+    /// Exits the monitor of lock `lock` — closes a synchronized region.
+    MonitorExit {
+        /// Static lock identity.
+        lock: LockId,
+    },
+    /// Calls `method` with `args`; the return value (if any) goes to
+    /// `dst`.
+    Invoke {
+        /// Destination local for the return value.
+        dst: Option<LocalId>,
+        /// Callee.
+        method: MethodId,
+        /// Argument locals, copied into the callee's first slots.
+        args: Vec<LocalId>,
+    },
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch on `lhs <cmp> rhs`.
+    Branch {
+        /// Left operand local.
+        lhs: LocalId,
+        /// Comparison.
+        cmp: Cmp,
+        /// Right operand local.
+        rhs: LocalId,
+        /// Target when the comparison holds.
+        then_bb: BlockId,
+        /// Target otherwise.
+        else_bb: BlockId,
+    },
+    /// Returns from the method, optionally with a value.
+    Return(Option<LocalId>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Instructions in execution order.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+    /// Profile hint: this block is rarely executed. The read-mostly
+    /// classifier only tolerates writes in cold blocks.
+    pub cold: bool,
+}
+
+/// A method: parameter count, local-slot count, and a CFG whose entry is
+/// block 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Method {
+    /// Name, for diagnostics.
+    pub name: String,
+    /// Number of parameters (occupying locals `0..params`).
+    pub params: u16,
+    /// Total local slots (≥ `params`).
+    pub locals: u16,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// The paper's `@SoleroReadOnly` annotation: synchronized regions in
+    /// this method are trusted to be read-only, and calls *to* this
+    /// method are trusted to be side-effect free.
+    pub solero_read_only: bool,
+}
+
+impl Method {
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (the verifier rejects such IR).
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id as usize]
+    }
+}
+
+/// A whole program: a set of methods calling each other by [`MethodId`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Methods, indexed by [`MethodId`].
+    pub methods: Vec<Method>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a method, returning its id.
+    pub fn add(&mut self, m: Method) -> MethodId {
+        self.methods.push(m);
+        (self.methods.len() - 1) as MethodId
+    }
+
+    /// The method with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id as usize]
+    }
+
+    /// Looks a method up by name.
+    pub fn find(&self, name: &str) -> Option<MethodId> {
+        self.methods
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| i as MethodId)
+    }
+}
+
+/// A point in a method: instruction `inst` of block `block`. `inst ==
+/// insts.len()` designates the terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point {
+    /// Block id.
+    pub block: BlockId,
+    /// Instruction index within the block (== len ⇒ the terminator).
+    pub inst: usize,
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}:{}", self.block, self.inst)
+    }
+}
+
+impl Inst {
+    /// The local this instruction defines (writes), if any.
+    pub fn def(&self) -> Option<LocalId> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Move { dst, .. }
+            | Inst::BinOp { dst, .. }
+            | Inst::New { dst, .. }
+            | Inst::GetField { dst, .. }
+            | Inst::ArrayLen { dst, .. }
+            | Inst::ArrayLoad { dst, .. } => Some(*dst),
+            Inst::Invoke { dst, .. } => *dst,
+            Inst::PutField { .. }
+            | Inst::ArrayStore { .. }
+            | Inst::MonitorEnter { .. }
+            | Inst::MonitorExit { .. } => None,
+        }
+    }
+
+    /// The locals this instruction uses (reads).
+    pub fn uses(&self) -> Vec<LocalId> {
+        match self {
+            Inst::Const { .. } | Inst::New { .. } | Inst::MonitorEnter { .. } | Inst::MonitorExit { .. } => {
+                vec![]
+            }
+            Inst::Move { src, .. } => vec![*src],
+            Inst::BinOp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Inst::GetField { obj, .. } => vec![*obj],
+            Inst::PutField { obj, src, .. } => vec![*obj, *src],
+            Inst::ArrayLen { arr, .. } => vec![*arr],
+            Inst::ArrayLoad { arr, index, .. } => vec![*arr, *index],
+            Inst::ArrayStore {
+                arr, index, src, ..
+            } => vec![*arr, *index, *src],
+            Inst::Invoke { args, .. } => args.clone(),
+        }
+    }
+
+    /// True for instructions that write the shadow heap.
+    pub fn is_heap_write(&self) -> bool {
+        matches!(self, Inst::PutField { .. } | Inst::ArrayStore { .. } | Inst::New { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_table() {
+        assert!(Cmp::Eq.eval(3, 3));
+        assert!(Cmp::Ne.eval(3, 4));
+        assert!(Cmp::Lt.eval(-1, 0));
+        assert!(Cmp::Le.eval(0, 0));
+        assert!(Cmp::Gt.eval(5, 4));
+        assert!(Cmp::Ge.eval(4, 4));
+        assert!(!Cmp::Lt.eval(4, 4));
+    }
+
+    #[test]
+    fn def_use_sets() {
+        let i = Inst::BinOp {
+            op: BinOp::Add,
+            dst: 2,
+            lhs: 0,
+            rhs: 1,
+        };
+        assert_eq!(i.def(), Some(2));
+        assert_eq!(i.uses(), vec![0, 1]);
+        let s = Inst::PutField {
+            obj: 3,
+            class: ClassId::new(1),
+            field: 0,
+            src: 4,
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![3, 4]);
+        assert!(s.is_heap_write());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(3).successors(), vec![3]);
+        assert_eq!(Terminator::Return(None).successors(), vec![]);
+        let b = Terminator::Branch {
+            lhs: 0,
+            cmp: Cmp::Lt,
+            rhs: 1,
+            then_bb: 1,
+            else_bb: 2,
+        };
+        assert_eq!(b.successors(), vec![1, 2]);
+    }
+
+    #[test]
+    fn program_find_by_name() {
+        let mut p = Program::new();
+        let id = p.add(Method {
+            name: "foo".into(),
+            params: 0,
+            locals: 1,
+            blocks: vec![Block {
+                insts: vec![],
+                term: Terminator::Return(None),
+                cold: false,
+            }],
+            solero_read_only: false,
+        });
+        assert_eq!(p.find("foo"), Some(id));
+        assert_eq!(p.find("bar"), None);
+    }
+}

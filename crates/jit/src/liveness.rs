@@ -1,0 +1,181 @@
+//! Live-variable analysis.
+//!
+//! The read-only classification forbids writes to locals that are
+//! **live at region entry** (paper §3.2): restoring such locals after a
+//! failed speculative execution would require checkpointing them. The
+//! classifier asks this module which locals are live at the
+//! `monitorenter` point; a def of any of them inside the region
+//! disqualifies it.
+//!
+//! Standard backward may-liveness over the CFG, to a fixed point.
+
+use std::collections::HashSet;
+
+use crate::ir::{LocalId, Method, Point, Terminator};
+
+/// Per-block live-in/live-out sets for one method.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<HashSet<LocalId>>,
+    live_out: Vec<HashSet<LocalId>>,
+}
+
+fn term_uses(t: &Terminator) -> Vec<LocalId> {
+    match t {
+        Terminator::Jump(_) => vec![],
+        Terminator::Branch { lhs, rhs, .. } => vec![*lhs, *rhs],
+        Terminator::Return(v) => v.iter().copied().collect(),
+    }
+}
+
+impl Liveness {
+    /// Computes liveness for `m`.
+    pub fn compute(m: &Method) -> Self {
+        let n = m.blocks.len();
+        let mut live_in = vec![HashSet::new(); n];
+        let mut live_out = vec![HashSet::new(); n];
+        // Precompute per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![HashSet::new(); n];
+        let mut kill = vec![HashSet::new(); n];
+        for (bi, b) in m.blocks.iter().enumerate() {
+            let mut defined: HashSet<LocalId> = HashSet::new();
+            for i in &b.insts {
+                for u in i.uses() {
+                    if !defined.contains(&u) {
+                        gen[bi].insert(u);
+                    }
+                }
+                if let Some(d) = i.def() {
+                    defined.insert(d);
+                    kill[bi].insert(d);
+                }
+            }
+            for u in term_uses(&b.term) {
+                if !defined.contains(&u) {
+                    gen[bi].insert(u);
+                }
+            }
+        }
+        // Iterate to fixpoint (small methods; simplicity over speed).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..n).rev() {
+                let mut out: HashSet<LocalId> = HashSet::new();
+                for s in m.blocks[bi].term.successors() {
+                    out.extend(live_in[s as usize].iter().copied());
+                }
+                let mut inn = gen[bi].clone();
+                for &v in &out {
+                    if !kill[bi].contains(&v) {
+                        inn.insert(v);
+                    }
+                }
+                if out != live_out[bi] || inn != live_in[bi] {
+                    live_out[bi] = out;
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Locals live on entry to a block.
+    pub fn live_in(&self, block: u32) -> &HashSet<LocalId> {
+        &self.live_in[block as usize]
+    }
+
+    /// Locals live on exit from a block.
+    pub fn live_out(&self, block: u32) -> &HashSet<LocalId> {
+        &self.live_out[block as usize]
+    }
+
+    /// Locals live immediately **before** executing the instruction at
+    /// `p` (the terminator when `p.inst == insts.len()`).
+    pub fn live_at(&self, m: &Method, p: Point) -> HashSet<LocalId> {
+        let b = m.block(p.block);
+        let mut live = self.live_out[p.block as usize].clone();
+        // Walk the block backward from the end to the point.
+        for u in term_uses(&b.term) {
+            live.insert(u);
+        }
+        for idx in (p.inst..b.insts.len()).rev() {
+            let i = &b.insts[idx];
+            if let Some(d) = i.def() {
+                live.remove(&d);
+            }
+            for u in i.uses() {
+                live.insert(u);
+            }
+        }
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MethodBuilder;
+    use crate::ir::{BinOp, Cmp};
+
+    #[test]
+    fn straight_line_liveness() {
+        // a = 1; b = a + a; return b   — `a` dead after the binop.
+        let mut mb = MethodBuilder::new("sl", 0);
+        let a = mb.fresh_local();
+        let b = mb.fresh_local();
+        mb.constant(a, 1).binop(BinOp::Add, b, a, a).ret(Some(b));
+        let m = mb.finish();
+        let lv = Liveness::compute(&m);
+        assert!(lv.live_in(0).is_empty(), "nothing live at method entry");
+        // Before the binop, `a` is live:
+        let at_binop = lv.live_at(&m, Point { block: 0, inst: 1 });
+        assert!(at_binop.contains(&a));
+        assert!(!at_binop.contains(&b));
+        // Before the return, only `b`:
+        let at_ret = lv.live_at(&m, Point { block: 0, inst: 2 });
+        assert!(at_ret.contains(&b));
+        assert!(!at_ret.contains(&a));
+    }
+
+    #[test]
+    fn loop_carried_variable_is_live() {
+        // i = 0; while (i < n) { i = i + 1 } return i
+        let mut mb = MethodBuilder::new("loopy", 1);
+        let n = 0;
+        let i = mb.fresh_local();
+        let one = mb.fresh_local();
+        mb.constant(i, 0).constant(one, 1);
+        let head = mb.new_block();
+        let body = mb.new_block();
+        let done = mb.new_block();
+        mb.jump(head);
+        mb.switch_to(head).branch(i, Cmp::Lt, n, body, done);
+        mb.switch_to(body).binop(BinOp::Add, i, i, one).jump(head);
+        mb.switch_to(done).ret(Some(i));
+        let m = mb.finish();
+        let lv = Liveness::compute(&m);
+        // At the loop head, i, n, and one are all live.
+        assert!(lv.live_in(1).contains(&i));
+        assert!(lv.live_in(1).contains(&n));
+        assert!(lv.live_in(1).contains(&one));
+        // At method entry only n (a parameter read later) is live.
+        assert!(lv.live_in(0).contains(&n));
+        assert!(!lv.live_in(0).contains(&i));
+    }
+
+    #[test]
+    fn branch_condition_locals_are_live() {
+        let mut mb = MethodBuilder::new("br", 2);
+        let t = mb.new_block();
+        let e = mb.new_block();
+        mb.branch(0, Cmp::Lt, 1, t, e);
+        mb.switch_to(t).ret(Some(0));
+        mb.switch_to(e).ret(Some(1));
+        let m = mb.finish();
+        let lv = Liveness::compute(&m);
+        assert!(lv.live_in(0).contains(&0));
+        assert!(lv.live_in(0).contains(&1));
+    }
+}

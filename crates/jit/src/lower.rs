@@ -1,0 +1,211 @@
+//! Lock-plan lowering.
+//!
+//! After classification, each synchronized region gets a **lock plan** —
+//! the code shape the paper's JIT emits:
+//!
+//! * `ReadOnly` regions → [`LockPlan::Elide`] (Figure 7 entry/exit);
+//! * `ReadMostly` regions → [`LockPlan::ElideMostly`] (Figure 17, with
+//!   an in-place upgrade before each write);
+//! * `Writing` regions → [`LockPlan::Conventional`] (Figure 6).
+//!
+//! Lowering also computes the region's intra-region **back-edges**; the
+//! interpreter polls the validation check-point when traversing one,
+//! modelling the JIT-inserted asynchronous check-points at loop
+//! back-edges (§3.3).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analysis::{classify_method, ClassifiedRegion, RegionClass, SyncRegion};
+use crate::ir::{MethodId, Point, Program};
+
+/// The code shape chosen for a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockPlan {
+    /// Speculative read-only execution with validation (Figure 7).
+    Elide,
+    /// Speculative execution with in-place upgrade at writes (Figure 17).
+    ElideMostly,
+    /// Acquire/release (Figure 6).
+    Conventional,
+}
+
+impl LockPlan {
+    /// The plan implied by a classification.
+    pub fn for_class(c: RegionClass) -> LockPlan {
+        match c {
+            RegionClass::ReadOnly => LockPlan::Elide,
+            RegionClass::ReadMostly => LockPlan::ElideMostly,
+            RegionClass::Writing => LockPlan::Conventional,
+        }
+    }
+}
+
+/// A region with its plan and check-point edges.
+#[derive(Debug, Clone)]
+pub struct PlannedRegion {
+    /// The region.
+    pub region: SyncRegion,
+    /// Its classification.
+    pub class: RegionClass,
+    /// The chosen plan.
+    pub plan: LockPlan,
+    /// CFG edges `(from, to)` inside the region that close a loop; the
+    /// interpreter checkpoints when traversing one.
+    pub backedges: HashSet<(u32, u32)>,
+}
+
+/// Plans for every region of every method, keyed by the `monitorenter`
+/// point.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramPlan {
+    regions: HashMap<(MethodId, Point), PlannedRegion>,
+}
+
+impl ProgramPlan {
+    /// Computes the plan for a verified program.
+    pub fn compute(p: &Program) -> Self {
+        let mut regions = HashMap::new();
+        for mid in 0..p.methods.len() as MethodId {
+            for cr in classify_method(p, mid) {
+                let planned = plan_region(p, mid, cr);
+                regions.insert((mid, planned.region.enter), planned);
+            }
+        }
+        ProgramPlan { regions }
+    }
+
+    /// The planned region opened by the `monitorenter` at `(mid, at)`.
+    pub fn region_at(&self, mid: MethodId, at: Point) -> Option<&PlannedRegion> {
+        self.regions.get(&(mid, at))
+    }
+
+    /// Iterates over all planned regions.
+    pub fn iter(&self) -> impl Iterator<Item = (&(MethodId, Point), &PlannedRegion)> {
+        self.regions.iter()
+    }
+
+    /// Count of regions with each plan, for diagnostics:
+    /// `(elide, elide_mostly, conventional)`.
+    pub fn plan_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for r in self.regions.values() {
+            match r.plan {
+                LockPlan::Elide => c.0 += 1,
+                LockPlan::ElideMostly => c.1 += 1,
+                LockPlan::Conventional => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+fn plan_region(p: &Program, mid: MethodId, cr: ClassifiedRegion) -> PlannedRegion {
+    let backedges = find_backedges(p, mid, &cr.region);
+    PlannedRegion {
+        plan: LockPlan::for_class(cr.class),
+        class: cr.class,
+        region: cr.region,
+        backedges,
+    }
+}
+
+/// DFS back-edge detection restricted to the region's blocks.
+fn find_backedges(p: &Program, mid: MethodId, region: &SyncRegion) -> HashSet<(u32, u32)> {
+    let m = p.method(mid);
+    let mut backedges = HashSet::new();
+    let mut state: HashMap<u32, u8> = HashMap::new(); // 1 = on stack, 2 = done
+    fn dfs(
+        m: &crate::ir::Method,
+        region: &SyncRegion,
+        b: u32,
+        state: &mut HashMap<u32, u8>,
+        backedges: &mut HashSet<(u32, u32)>,
+    ) {
+        state.insert(b, 1);
+        for s in m.block(b).term.successors() {
+            if !region.blocks.contains(&s) {
+                continue;
+            }
+            match state.get(&s) {
+                Some(1) => {
+                    backedges.insert((b, s));
+                }
+                Some(2) => {}
+                _ => dfs(m, region, s, state, backedges),
+            }
+        }
+        state.insert(b, 2);
+    }
+    dfs(m, region, region.enter.block, &mut state, &mut backedges);
+    backedges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MethodBuilder;
+    use crate::ir::Cmp;
+    use solero_heap::ClassId;
+
+    const C: ClassId = ClassId::new(1);
+
+    #[test]
+    fn plans_follow_classes() {
+        assert_eq!(LockPlan::for_class(RegionClass::ReadOnly), LockPlan::Elide);
+        assert_eq!(
+            LockPlan::for_class(RegionClass::ReadMostly),
+            LockPlan::ElideMostly
+        );
+        assert_eq!(
+            LockPlan::for_class(RegionClass::Writing),
+            LockPlan::Conventional
+        );
+    }
+
+    #[test]
+    fn loop_backedge_is_found() {
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("scan", 2);
+        let (arr, n) = (0, 1);
+        let i = b.fresh_local();
+        let v = b.fresh_local();
+        let one = b.fresh_local();
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.monitor_enter(0)
+            .constant(i, 0)
+            .constant(one, 1)
+            .constant(v, 0) // define v inside the region: not live at entry
+            .jump(head);
+        b.switch_to(head).branch(i, Cmp::Lt, n, body, done);
+        b.switch_to(body)
+            .array_load(v, arr, C, i)
+            .binop(crate::ir::BinOp::Add, i, i, one)
+            .jump(head);
+        b.switch_to(done).monitor_exit(0).ret(Some(v));
+        let mid = p.add(b.finish());
+        let plan = ProgramPlan::compute(&p);
+        let enter = Point { block: 0, inst: 0 };
+        let pr = plan.region_at(mid, enter).expect("region planned");
+        assert_eq!(pr.plan, LockPlan::Elide);
+        assert_eq!(pr.backedges.len(), 1);
+        assert!(pr.backedges.contains(&(body, head)));
+    }
+
+    #[test]
+    fn straight_line_region_has_no_backedges() {
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("get", 1);
+        let v = b.fresh_local();
+        b.monitor_enter(0)
+            .get_field(v, 0, C, 0)
+            .monitor_exit(0)
+            .ret(Some(v));
+        let mid = p.add(b.finish());
+        let plan = ProgramPlan::compute(&p);
+        let pr = plan.region_at(mid, Point { block: 0, inst: 0 }).unwrap();
+        assert!(pr.backedges.is_empty());
+        assert_eq!(plan.plan_counts(), (1, 0, 0));
+    }
+}

@@ -1,0 +1,372 @@
+//! Scalar optimizations: constant folding, branch folding, unreachable-
+//! block elimination, and dead-code elimination.
+//!
+//! Besides being what any JIT runs before lock analysis, these passes
+//! interact with elision in a way worth demonstrating: **optimization
+//! can enable elision**. A synchronized block with a write behind a
+//! statically false guard is classified `Writing` by the §3.2 rules;
+//! after branch folding removes the guard and unreachable-block
+//! elimination removes the write, the same region is provably
+//! `ReadOnly` and elides. (The reverse is impossible: the passes never
+//! introduce heap writes, monitor operations, or calls.)
+//!
+//! All passes are intentionally conservative:
+//!
+//! * constant propagation is block-local (no dataflow join), enough to
+//!   fold guard patterns like `k = 0; if (k == 0) ...`;
+//! * instructions with observable effects (heap accesses — they can
+//!   fault, — `Div`/`Rem`, monitors, calls, `New`) are never removed or
+//!   folded away;
+//! * blocks made unreachable are replaced by empty `return` stubs so
+//!   block ids (and therefore lock-plan points) stay stable.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{BinOp, Block, Inst, LocalId, Method, Program, Terminator};
+
+/// What a pass run changed, for diagnostics and fixpoint iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Instructions folded to constants.
+    pub folded: usize,
+    /// Conditional branches rewritten to jumps.
+    pub branches_folded: usize,
+    /// Blocks stubbed out as unreachable.
+    pub blocks_removed: usize,
+    /// Dead pure instructions removed.
+    pub dead_removed: usize,
+}
+
+impl OptReport {
+    fn merge(self, o: OptReport) -> OptReport {
+        OptReport {
+            folded: self.folded + o.folded,
+            branches_folded: self.branches_folded + o.branches_folded,
+            blocks_removed: self.blocks_removed + o.blocks_removed,
+            dead_removed: self.dead_removed + o.dead_removed,
+        }
+    }
+
+    /// True if the run changed nothing.
+    pub fn is_noop(&self) -> bool {
+        *self == OptReport::default()
+    }
+}
+
+/// Runs all passes on every method to a fixpoint.
+pub fn optimize_program(p: &mut Program) -> OptReport {
+    let mut total = OptReport::default();
+    for m in &mut p.methods {
+        total = total.merge(optimize_method(m));
+    }
+    total
+}
+
+/// Runs all passes on one method to a fixpoint.
+pub fn optimize_method(m: &mut Method) -> OptReport {
+    let mut total = OptReport::default();
+    loop {
+        let mut round = fold_constants(m);
+        round = round.merge(remove_unreachable(m));
+        round = round.merge(eliminate_dead_code(m));
+        if round.is_noop() {
+            return total;
+        }
+        total = total.merge(round);
+    }
+}
+
+fn eval_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        // Div/Rem can fault: never folded (folding a division by zero
+        // would delete a required exception).
+        BinOp::Div | BinOp::Rem => return None,
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::Shr => a.wrapping_shr(b as u32),
+    })
+}
+
+/// Block-local constant propagation + folding, and branch folding.
+fn fold_constants(m: &mut Method) -> OptReport {
+    let mut report = OptReport::default();
+    for b in &mut m.blocks {
+        let mut env: HashMap<LocalId, i64> = HashMap::new();
+        for inst in &mut b.insts {
+            let folded = match &mut *inst {
+                Inst::Const { dst, value } => {
+                    env.insert(*dst, *value);
+                    None
+                }
+                Inst::Move { dst, src } => match env.get(src).copied() {
+                    Some(v) => Some((*dst, v)),
+                    None => {
+                        env.remove(dst);
+                        None
+                    }
+                },
+                Inst::BinOp { op, dst, lhs, rhs } => {
+                    match (env.get(lhs).copied(), env.get(rhs).copied()) {
+                        (Some(a), Some(bv)) => eval_binop(*op, a, bv).map(|v| (*dst, v)),
+                        _ => {
+                            env.remove(dst);
+                            None
+                        }
+                    }
+                }
+                other => {
+                    // Anything else invalidates its def (if any).
+                    if let Some(d) = other.def() {
+                        env.remove(&d);
+                    }
+                    None
+                }
+            };
+            if let Some((dst, v)) = folded {
+                *inst = Inst::Const { dst, value: v };
+                env.insert(dst, v);
+                report.folded += 1;
+            }
+        }
+        // Branch folding with the block-local environment.
+        if let Terminator::Branch {
+            lhs,
+            cmp,
+            rhs,
+            then_bb,
+            else_bb,
+        } = b.term
+        {
+            if let (Some(a), Some(bv)) = (env.get(&lhs).copied(), env.get(&rhs).copied()) {
+                let taken = if cmp.eval(a, bv) { then_bb } else { else_bb };
+                b.term = Terminator::Jump(taken);
+                report.branches_folded += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Replaces unreachable blocks by empty `return` stubs (ids stay
+/// stable so downstream point-keyed maps remain valid).
+fn remove_unreachable(m: &mut Method) -> OptReport {
+    let mut reachable = HashSet::new();
+    let mut work = vec![0u32];
+    while let Some(b) = work.pop() {
+        if !reachable.insert(b) {
+            continue;
+        }
+        for s in m.blocks[b as usize].term.successors() {
+            work.push(s);
+        }
+    }
+    let mut report = OptReport::default();
+    for (bi, b) in m.blocks.iter_mut().enumerate() {
+        let dead = !reachable.contains(&(bi as u32));
+        if dead && !(b.insts.is_empty() && b.term == Terminator::Return(None)) {
+            *b = Block {
+                insts: vec![],
+                term: Terminator::Return(None),
+                cold: false,
+            };
+            report.blocks_removed += 1;
+        }
+    }
+    report
+}
+
+/// Removes pure instructions whose results are never used (backward
+/// liveness over the CFG via the existing analysis).
+fn eliminate_dead_code(m: &mut Method) -> OptReport {
+    let liveness = crate::liveness::Liveness::compute(m);
+    let mut report = OptReport::default();
+    for bi in 0..m.blocks.len() {
+        // Walk each block backward tracking live-out.
+        let mut live = liveness.live_out(bi as u32).clone();
+        for u in term_uses(&m.blocks[bi].term) {
+            live.insert(u);
+        }
+        let insts = std::mem::take(&mut m.blocks[bi].insts);
+        let mut kept_rev = Vec::with_capacity(insts.len());
+        for inst in insts.into_iter().rev() {
+            let removable = is_pure(&inst)
+                && inst.def().map(|d| !live.contains(&d)).unwrap_or(false);
+            if removable {
+                report.dead_removed += 1;
+                continue;
+            }
+            if let Some(d) = inst.def() {
+                live.remove(&d);
+            }
+            for u in inst.uses() {
+                live.insert(u);
+            }
+            kept_rev.push(inst);
+        }
+        kept_rev.reverse();
+        m.blocks[bi].insts = kept_rev;
+    }
+    report
+}
+
+fn term_uses(t: &Terminator) -> Vec<LocalId> {
+    match t {
+        Terminator::Jump(_) => vec![],
+        Terminator::Branch { lhs, rhs, .. } => vec![*lhs, *rhs],
+        Terminator::Return(v) => v.iter().copied().collect(),
+    }
+}
+
+/// Pure = removable when dead: no heap access (faults!), no side
+/// effects, no control relevance.
+fn is_pure(i: &Inst) -> bool {
+    match i {
+        Inst::Const { .. } | Inst::Move { .. } => true,
+        Inst::BinOp { op, .. } => !matches!(op, BinOp::Div | BinOp::Rem),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{classify_method, RegionClass};
+    use crate::ir::Cmp;
+    use crate::builder::MethodBuilder;
+    use crate::verify::verify_program;
+    use solero_heap::ClassId;
+
+    const C: ClassId = ClassId::new(1);
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut b = MethodBuilder::new("fold", 0);
+        let x = b.fresh_local();
+        let y = b.fresh_local();
+        let z = b.fresh_local();
+        b.constant(x, 6)
+            .constant(y, 7)
+            .binop(BinOp::Mul, z, x, y)
+            .ret(Some(z));
+        let mut m = b.finish();
+        let r = optimize_method(&mut m);
+        assert!(r.folded >= 1);
+        // The multiply became `z = 42` and x/y are dead.
+        assert!(m.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Const { value: 42, .. })));
+        assert!(r.dead_removed >= 2);
+    }
+
+    #[test]
+    fn never_folds_division() {
+        let mut b = MethodBuilder::new("div", 0);
+        let x = b.fresh_local();
+        let y = b.fresh_local();
+        let z = b.fresh_local();
+        b.constant(x, 1)
+            .constant(y, 0)
+            .binop(BinOp::Div, z, x, y)
+            .ret(Some(z));
+        let mut m = b.finish();
+        optimize_method(&mut m);
+        assert!(
+            m.blocks[0]
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::BinOp { op: BinOp::Div, .. })),
+            "the faulting division must survive"
+        );
+    }
+
+    #[test]
+    fn optimization_enables_elision() {
+        // synchronized { v = obj.f; k = 0; if (k == 1) { obj.g = v } }
+        // — statically Writing; after folding the guard is provably
+        // dead and the region is ReadOnly.
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("guarded", 1);
+        let v = b.fresh_local();
+        let k = b.fresh_local();
+        let one = b.fresh_local();
+        let exit_bb = b.new_block();
+        let dead_write = b.new_block();
+        b.monitor_enter(0)
+            .get_field(v, 0, C, 0)
+            .constant(k, 0)
+            .constant(one, 1)
+            .branch(k, Cmp::Eq, one, dead_write, exit_bb);
+        b.switch_to(dead_write).put_field(0, C, 1, v).jump(exit_bb);
+        b.switch_to(exit_bb).monitor_exit(0).ret(Some(v));
+        let mid = p.add(b.finish());
+
+        assert_eq!(
+            classify_method(&p, mid)[0].class,
+            RegionClass::Writing,
+            "unoptimized: the guarded write disqualifies"
+        );
+        let r = optimize_program(&mut p);
+        assert_eq!(r.branches_folded, 1);
+        assert_eq!(r.blocks_removed, 1);
+        assert_eq!(verify_program(&p), Ok(()), "optimized IR is well-formed");
+        assert_eq!(
+            classify_method(&p, mid)[0].class,
+            RegionClass::ReadOnly,
+            "optimized: the write path is provably dead — elide"
+        );
+    }
+
+    #[test]
+    fn dce_respects_cross_block_liveness() {
+        // x defined in bb0, used in bb1: must survive.
+        let mut b = MethodBuilder::new("crossbb", 0);
+        let x = b.fresh_local();
+        let next = b.new_block();
+        b.constant(x, 9).jump(next);
+        b.switch_to(next).ret(Some(x));
+        let mut m = b.finish();
+        let r = optimize_method(&mut m);
+        assert_eq!(r.dead_removed, 0);
+        assert_eq!(m.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn optimized_programs_still_run_correctly() {
+        use crate::interp::{Interpreter, RuntimeLock};
+        use solero::SoleroLock;
+        use solero_heap::Heap;
+        use std::sync::Arc;
+
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("math", 1);
+        let x = b.fresh_local();
+        let y = b.fresh_local();
+        let z = b.fresh_local();
+        b.constant(x, 10)
+            .constant(y, 32)
+            .binop(BinOp::Add, z, x, y)
+            .binop(BinOp::Add, z, z, 0) // + param
+            .ret(Some(z));
+        p.add(b.finish());
+        let mut optimized = p.clone();
+        optimize_program(&mut optimized);
+
+        let run = |prog: Program| {
+            let heap = Arc::new(Heap::new(64));
+            let i = Interpreter::new(
+                prog,
+                heap,
+                vec![RuntimeLock::Solero(Arc::new(SoleroLock::new()))],
+            )
+            .unwrap();
+            i.run(0, &[100]).unwrap()
+        };
+        assert_eq!(run(p), run(optimized));
+    }
+}

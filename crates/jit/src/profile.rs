@@ -1,0 +1,181 @@
+//! Execution profiling for read-mostly classification.
+//!
+//! The paper's §5 extension says the JIT "identifies a critical section
+//! that contains writes or side effects as read-mostly **if the
+//! execution of those writes or side effects is rare**" — a profile
+//! property, not a static one. This module supplies it, mirroring a
+//! tiered JIT:
+//!
+//! 1. run the program with a [`Profile`] attached (first tier: every
+//!    region under conventional locking is fine);
+//! 2. [`Profile::mark_cold`] flags blocks whose execution count is a
+//!    small fraction of their method's hottest block;
+//! 3. re-plan ([`crate::lower::ProgramPlan::compute`]): regions whose
+//!    only writes sit in now-cold blocks become
+//!    [`crate::analysis::RegionClass::ReadMostly`] and elide with the
+//!    Figure 17 upgrade.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ir::{BlockId, MethodId, Program};
+
+/// Per-block execution counts for one program.
+///
+/// Counters are relaxed atomics so a profiling run can be
+/// multi-threaded, like real JIT profiling.
+///
+/// # Examples
+///
+/// ```
+/// use solero_jit::builder::MethodBuilder;
+/// use solero_jit::ir::Program;
+/// use solero_jit::profile::Profile;
+///
+/// let mut p = Program::new();
+/// let mut b = MethodBuilder::new("noop", 0);
+/// b.ret(None);
+/// let m = p.add(b.finish());
+/// let prof = Profile::for_program(&p);
+/// prof.hit(m, 0);
+/// assert_eq!(prof.count(m, 0), 1);
+/// ```
+#[derive(Debug)]
+pub struct Profile {
+    counts: Vec<Vec<AtomicU64>>,
+}
+
+impl Profile {
+    /// Creates an all-zero profile shaped like `p`.
+    pub fn for_program(p: &Program) -> Self {
+        Profile {
+            counts: p
+                .methods
+                .iter()
+                .map(|m| (0..m.blocks.len()).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+        }
+    }
+
+    /// Records one execution of `block` in `method`.
+    #[inline]
+    pub fn hit(&self, method: MethodId, block: BlockId) {
+        self.counts[method as usize][block as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The recorded count.
+    pub fn count(&self, method: MethodId, block: BlockId) -> u64 {
+        self.counts[method as usize][block as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total executions recorded for a method (sum over blocks).
+    pub fn method_total(&self, method: MethodId) -> u64 {
+        self.counts[method as usize]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sets each block's `cold` flag from the profile: a block is cold
+    /// when its count is at most `cold_fraction` of the hottest block of
+    /// its method (and colder than the method entry). Typical fractions
+    /// are 0.01–0.1, like JIT uncommon-trap thresholds.
+    ///
+    /// Methods that never ran keep their static flags — the profile has
+    /// nothing to say about them.
+    pub fn mark_cold(&self, p: &mut Program, cold_fraction: f64) {
+        for (mi, m) in p.methods.iter_mut().enumerate() {
+            let hottest = self.counts[mi]
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0);
+            if hottest == 0 {
+                continue;
+            }
+            let threshold = (hottest as f64 * cold_fraction).floor() as u64;
+            for (bi, b) in m.blocks.iter_mut().enumerate() {
+                b.cold = self.counts[mi][bi].load(Ordering::Relaxed) <= threshold;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{classify_method, RegionClass};
+    use crate::builder::MethodBuilder;
+    use crate::ir::Cmp;
+    use solero_heap::ClassId;
+
+    const C: ClassId = ClassId::new(1);
+
+    /// synchronized { v = obj.f; if (v == key) { obj.g = v } } with no
+    /// static cold marks.
+    fn guarded_write_method() -> (Program, MethodId, BlockId, BlockId) {
+        let mut p = Program::new();
+        let mut b = MethodBuilder::new("mostly", 2);
+        let (obj, key) = (0, 1);
+        let v = b.fresh_local();
+        let exit_bb = b.new_block();
+        let write_bb = b.new_block();
+        b.monitor_enter(0)
+            .get_field(v, obj, C, 0)
+            .branch(v, Cmp::Eq, key, write_bb, exit_bb);
+        b.switch_to(write_bb).put_field(obj, C, 1, v).jump(exit_bb);
+        b.switch_to(exit_bb).monitor_exit(0).ret(None);
+        let mid = p.add(b.finish());
+        (p, mid, write_bb, exit_bb)
+    }
+
+    #[test]
+    fn unprofiled_guarded_write_is_conventional() {
+        let (p, mid, _, _) = guarded_write_method();
+        assert_eq!(classify_method(&p, mid)[0].class, RegionClass::Writing);
+    }
+
+    #[test]
+    fn profile_promotes_rare_write_to_read_mostly() {
+        let (mut p, mid, write_bb, exit_bb) = guarded_write_method();
+        let prof = Profile::for_program(&p);
+        // Simulate 10_000 executions where the write path ran 12 times.
+        for _ in 0..10_000 {
+            prof.hit(mid, 0);
+            prof.hit(mid, exit_bb);
+        }
+        for _ in 0..12 {
+            prof.hit(mid, write_bb);
+        }
+        prof.mark_cold(&mut p, 0.05);
+        assert!(p.method(mid).block(write_bb).cold);
+        assert!(!p.method(mid).block(0).cold);
+        assert_eq!(classify_method(&p, mid)[0].class, RegionClass::ReadMostly);
+    }
+
+    #[test]
+    fn profile_keeps_hot_write_conventional() {
+        let (mut p, mid, write_bb, exit_bb) = guarded_write_method();
+        let prof = Profile::for_program(&p);
+        // The "guard" is taken half the time: not rare.
+        for _ in 0..1_000 {
+            prof.hit(mid, 0);
+            prof.hit(mid, exit_bb);
+        }
+        for _ in 0..500 {
+            prof.hit(mid, write_bb);
+        }
+        prof.mark_cold(&mut p, 0.05);
+        assert!(!p.method(mid).block(write_bb).cold);
+        assert_eq!(classify_method(&p, mid)[0].class, RegionClass::Writing);
+    }
+
+    #[test]
+    fn unexecuted_methods_keep_static_flags() {
+        let (mut p, mid, write_bb, _) = guarded_write_method();
+        // Statically mark the write block cold, record nothing.
+        p.methods[mid as usize].blocks[write_bb as usize].cold = true;
+        let prof = Profile::for_program(&p);
+        prof.mark_cold(&mut p, 0.05);
+        assert!(p.method(mid).block(write_bb).cold, "static flag preserved");
+    }
+}

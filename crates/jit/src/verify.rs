@@ -1,0 +1,381 @@
+//! Structural verification of IR methods.
+//!
+//! The verifier enforces the well-formedness the analysis and
+//! interpreter rely on, the important one being **balanced monitors**:
+//! along every path, each `monitorenter` is matched by exactly one
+//! `monitorexit` of the same lock, properly nested, and no path returns
+//! while a monitor is held — the same structured-locking property Java
+//! compilers guarantee for `synchronized` blocks.
+
+use std::collections::HashSet;
+
+use crate::ir::{Inst, LockId, Method, MethodId, Program, Terminator};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A local id is out of the method's declared range.
+    LocalOutOfRange {
+        /// Offending method name.
+        method: String,
+        /// The local id.
+        local: u16,
+        /// Declared slot count.
+        locals: u16,
+    },
+    /// A terminator targets a non-existent block.
+    BadBlockTarget {
+        /// Offending method name.
+        method: String,
+        /// The target block.
+        target: u32,
+    },
+    /// An invoke names a non-existent method.
+    BadInvokeTarget {
+        /// Offending method name.
+        method: String,
+        /// The callee id.
+        callee: MethodId,
+    },
+    /// An invoke passes the wrong number of arguments.
+    BadArity {
+        /// Offending method name.
+        method: String,
+        /// The callee id.
+        callee: MethodId,
+        /// Arguments passed.
+        passed: usize,
+        /// Parameters expected.
+        expected: u16,
+    },
+    /// A `monitorexit` does not match the innermost open monitor.
+    UnbalancedMonitor {
+        /// Offending method name.
+        method: String,
+        /// The lock operand of the offending exit.
+        lock: LockId,
+    },
+    /// A path returns (or falls off) while monitors are still held.
+    ReturnWithHeldMonitor {
+        /// Offending method name.
+        method: String,
+        /// The lock still held.
+        lock: LockId,
+    },
+    /// The method has no blocks.
+    Empty {
+        /// Offending method name.
+        method: String,
+    },
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerifyError::LocalOutOfRange {
+                method,
+                local,
+                locals,
+            } => write!(f, "{method}: local {local} out of range (locals={locals})"),
+            VerifyError::BadBlockTarget { method, target } => {
+                write!(f, "{method}: branch to non-existent block {target}")
+            }
+            VerifyError::BadInvokeTarget { method, callee } => {
+                write!(f, "{method}: invoke of non-existent method {callee}")
+            }
+            VerifyError::BadArity {
+                method,
+                callee,
+                passed,
+                expected,
+            } => write!(
+                f,
+                "{method}: invoke of method {callee} passes {passed} args, expected {expected}"
+            ),
+            VerifyError::UnbalancedMonitor { method, lock } => {
+                write!(f, "{method}: monitorexit of lock {lock} does not match innermost enter")
+            }
+            VerifyError::ReturnWithHeldMonitor { method, lock } => {
+                write!(f, "{method}: return while holding lock {lock}")
+            }
+            VerifyError::Empty { method } => write!(f, "{method}: method has no blocks"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every method of a program.
+///
+/// # Errors
+///
+/// The first [`VerifyError`] found.
+pub fn verify_program(p: &Program) -> Result<(), VerifyError> {
+    for m in &p.methods {
+        verify_method(p, m)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single method against a program (for invoke targets).
+///
+/// # Errors
+///
+/// The first [`VerifyError`] found.
+pub fn verify_method(p: &Program, m: &Method) -> Result<(), VerifyError> {
+    if m.blocks.is_empty() {
+        return Err(VerifyError::Empty {
+            method: m.name.clone(),
+        });
+    }
+    let check_local = |l: u16| -> Result<(), VerifyError> {
+        if l >= m.locals {
+            Err(VerifyError::LocalOutOfRange {
+                method: m.name.clone(),
+                local: l,
+                locals: m.locals,
+            })
+        } else {
+            Ok(())
+        }
+    };
+    for b in &m.blocks {
+        for i in &b.insts {
+            for u in i.uses() {
+                check_local(u)?;
+            }
+            if let Some(d) = i.def() {
+                check_local(d)?;
+            }
+            if let Inst::Invoke { method, args, .. } = i {
+                let Some(callee) = p.methods.get(*method as usize) else {
+                    return Err(VerifyError::BadInvokeTarget {
+                        method: m.name.clone(),
+                        callee: *method,
+                    });
+                };
+                if args.len() != callee.params as usize {
+                    return Err(VerifyError::BadArity {
+                        method: m.name.clone(),
+                        callee: *method,
+                        passed: args.len(),
+                        expected: callee.params,
+                    });
+                }
+            }
+        }
+        match &b.term {
+            Terminator::Jump(t) => {
+                if *t as usize >= m.blocks.len() {
+                    return Err(VerifyError::BadBlockTarget {
+                        method: m.name.clone(),
+                        target: *t,
+                    });
+                }
+            }
+            Terminator::Branch {
+                lhs,
+                rhs,
+                then_bb,
+                else_bb,
+                ..
+            } => {
+                check_local(*lhs)?;
+                check_local(*rhs)?;
+                for t in [then_bb, else_bb] {
+                    if *t as usize >= m.blocks.len() {
+                        return Err(VerifyError::BadBlockTarget {
+                            method: m.name.clone(),
+                            target: *t,
+                        });
+                    }
+                }
+            }
+            Terminator::Return(v) => {
+                if let Some(v) = v {
+                    check_local(*v)?;
+                }
+            }
+        }
+    }
+    verify_monitor_balance(m)
+}
+
+/// DFS over `(block, monitor-stack)` states checking structured locking.
+fn verify_monitor_balance(m: &Method) -> Result<(), VerifyError> {
+    let mut seen: HashSet<(u32, Vec<LockId>)> = HashSet::new();
+    let mut work: Vec<(u32, Vec<LockId>)> = vec![(0, vec![])];
+    while let Some((bid, mut stack)) = work.pop() {
+        if !seen.insert((bid, stack.clone())) {
+            continue;
+        }
+        let b = &m.blocks[bid as usize];
+        for i in &b.insts {
+            match i {
+                Inst::MonitorEnter { lock } => stack.push(*lock),
+                Inst::MonitorExit { lock } => match stack.pop() {
+                    Some(top) if top == *lock => {}
+                    _ => {
+                        return Err(VerifyError::UnbalancedMonitor {
+                            method: m.name.clone(),
+                            lock: *lock,
+                        })
+                    }
+                },
+                _ => {}
+            }
+        }
+        match &b.term {
+            Terminator::Return(_) => {
+                if let Some(&lock) = stack.last() {
+                    return Err(VerifyError::ReturnWithHeldMonitor {
+                        method: m.name.clone(),
+                        lock,
+                    });
+                }
+            }
+            t => {
+                for s in t.successors() {
+                    work.push((s, stack.clone()));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MethodBuilder;
+    use crate::ir::Cmp;
+
+    fn wrap(m: Method) -> Program {
+        let mut p = Program::new();
+        p.add(m);
+        p
+    }
+
+    #[test]
+    fn accepts_balanced_region() {
+        let mut b = MethodBuilder::new("ok", 0);
+        b.monitor_enter(1).monitor_exit(1).ret(None);
+        assert_eq!(verify_program(&wrap(b.finish())), Ok(()));
+    }
+
+    #[test]
+    fn accepts_nested_regions() {
+        let mut b = MethodBuilder::new("nested", 0);
+        b.monitor_enter(1)
+            .monitor_enter(2)
+            .monitor_exit(2)
+            .monitor_exit(1)
+            .ret(None);
+        assert_eq!(verify_program(&wrap(b.finish())), Ok(()));
+    }
+
+    #[test]
+    fn rejects_crossed_exits() {
+        let mut b = MethodBuilder::new("crossed", 0);
+        b.monitor_enter(1)
+            .monitor_enter(2)
+            .monitor_exit(1) // wrong order
+            .monitor_exit(2)
+            .ret(None);
+        assert!(matches!(
+            verify_program(&wrap(b.finish())),
+            Err(VerifyError::UnbalancedMonitor { lock: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_return_inside_region() {
+        let mut b = MethodBuilder::new("leaky", 0);
+        b.monitor_enter(1).ret(None);
+        assert!(matches!(
+            verify_program(&wrap(b.finish())),
+            Err(VerifyError::ReturnWithHeldMonitor { lock: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_path_sensitive_imbalance() {
+        // One branch arm exits the monitor, the other does not.
+        let mut b = MethodBuilder::new("maybe", 1);
+        let exit_bb = b.new_block();
+        let skip_bb = b.new_block();
+        let join = b.new_block();
+        b.monitor_enter(7).branch(0, Cmp::Eq, 0, exit_bb, skip_bb);
+        b.switch_to(exit_bb).monitor_exit(7).jump(join);
+        b.switch_to(skip_bb).jump(join);
+        b.switch_to(join).ret(None);
+        assert!(verify_program(&wrap(b.finish())).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_local_and_target() {
+        let mut b = MethodBuilder::new("bad", 0);
+        b.mov(3, 4).ret(None); // locals 3,4 never allocated
+        assert!(matches!(
+            verify_program(&wrap(b.finish())),
+            Err(VerifyError::LocalOutOfRange { .. })
+        ));
+
+        let mut b = MethodBuilder::new("badjump", 0);
+        b.jump(9);
+        assert!(matches!(
+            verify_program(&wrap(b.finish())),
+            Err(VerifyError::BadBlockTarget { target: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_invoke() {
+        let mut b = MethodBuilder::new("caller", 0);
+        b.invoke(None, 42, &[]).ret(None);
+        assert!(matches!(
+            verify_program(&wrap(b.finish())),
+            Err(VerifyError::BadInvokeTarget { callee: 42, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut p = Program::new();
+        let mut callee = MethodBuilder::new("callee", 2);
+        callee.ret(None);
+        let callee_id = p.add(callee.finish());
+        let mut caller = MethodBuilder::new("caller", 0);
+        let x = caller.fresh_local();
+        caller.constant(x, 1).invoke(None, callee_id, &[x]).ret(None);
+        p.add(caller.finish());
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::BadArity {
+                passed: 1,
+                expected: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn accepts_loop_with_region_each_iteration() {
+        let mut b = MethodBuilder::new("loopy", 1);
+        let i = b.fresh_local();
+        let one = b.fresh_local();
+        b.constant(i, 0).constant(one, 1);
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.jump(head);
+        b.switch_to(head).branch(i, Cmp::Lt, 0, body, done);
+        b.switch_to(body)
+            .monitor_enter(1)
+            .monitor_exit(1)
+            .binop(crate::ir::BinOp::Add, i, i, one)
+            .jump(head);
+        b.switch_to(done).ret(None);
+        assert_eq!(verify_program(&wrap(b.finish())), Ok(()));
+    }
+}

@@ -1,0 +1,238 @@
+//! Asynchronous validation events.
+//!
+//! The paper breaks infinite loops caused by inconsistent speculative
+//! reads with the JVM's pre-existing asynchronous events (used for GC
+//! checks): a ticker occasionally flags every thread, and JIT-inserted
+//! check-points at method entries and loop back-edges poll the flag; a
+//! flagged thread inside a read-only critical section re-validates its
+//! local lock value (paper §3.3).
+//!
+//! [`EventSource`] is that ticker: a global epoch counter that a
+//! background thread (or a test, via [`EventSource::bump`]) advances.
+//! Sessions capture the epoch on entry; [`EventPoll`] makes the per-
+//! check-point decision "should I validate now?", combining the epoch
+//! with a deterministic every-N fallback so validation also happens in
+//! runs without a ticker.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The global asynchronous-event epoch.
+///
+/// # Examples
+///
+/// ```
+/// use solero_runtime::events::EventSource;
+///
+/// let before = EventSource::global().epoch();
+/// EventSource::global().bump();
+/// assert!(EventSource::global().epoch() > before);
+/// ```
+#[derive(Debug)]
+pub struct EventSource {
+    epoch: AtomicU64,
+}
+
+impl EventSource {
+    /// The process-global source.
+    pub fn global() -> &'static EventSource {
+        static SRC: OnceLock<EventSource> = OnceLock::new();
+        SRC.get_or_init(|| EventSource {
+            epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// Current epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Manually delivers an asynchronous event to all threads.
+    pub fn bump(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a background ticker delivering an event every `period`.
+    /// The returned handle stops the ticker when dropped.
+    pub fn start_ticker(&'static self, period: Duration) -> TickerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("solero-async-events".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    EventSource::global().bump();
+                }
+            })
+            .expect("spawn ticker");
+        TickerHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the background ticker when dropped.
+#[derive(Debug)]
+pub struct TickerHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for TickerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-session check-point poller.
+///
+/// `should_validate()` is called at every JIT check-point (loop
+/// back-edges, method entries) and must therefore cost about as much as
+/// the flag test the paper's JIT emits: the hot path is one decrement
+/// and one branch. Every `batch` polls (at most 64) the poller checks
+/// the global epoch and the deterministic period:
+///
+/// * it returns `true` when the epoch advanced since the last check
+///   (an asynchronous event was delivered — detected within ≤ 64
+///   polls, as the JVM's events are themselves only polled at
+///   check-points);
+/// * with `period != 0` it also returns `true` at least every `period`
+///   polls, a deterministic fallback so validation happens even in runs
+///   without a ticker.
+///
+/// # Examples
+///
+/// ```
+/// use solero_runtime::events::EventPoll;
+///
+/// let mut poll = EventPoll::new(3);
+/// assert!(!poll.should_validate());
+/// assert!(!poll.should_validate());
+/// assert!(poll.should_validate(), "every third poll validates");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventPoll {
+    last_epoch: u64,
+    /// Polls accumulated since the last validation.
+    polls: u64,
+    period: u64,
+    countdown: u32,
+    batch: u32,
+}
+
+impl EventPoll {
+    /// Creates a poller with the given deterministic period
+    /// (`0` = events only).
+    pub fn new(period: u64) -> Self {
+        let batch = if period == 0 { 64 } else { period.min(64) as u32 };
+        EventPoll {
+            last_epoch: EventSource::global().epoch(),
+            polls: 0,
+            period,
+            countdown: batch,
+            batch,
+        }
+    }
+
+    /// One check-point poll; see the type docs.
+    #[inline]
+    pub fn should_validate(&mut self) -> bool {
+        self.countdown -= 1;
+        if self.countdown != 0 {
+            return false;
+        }
+        self.slow_poll()
+    }
+
+    #[cold]
+    fn slow_poll(&mut self) -> bool {
+        self.countdown = self.batch;
+        self.polls += self.batch as u64;
+        let epoch = EventSource::global().epoch();
+        if epoch != self.last_epoch {
+            self.last_epoch = epoch;
+            self.polls = 0;
+            return true;
+        }
+        if self.period != 0 && self.polls >= self.period {
+            self.polls = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Resets the poll counter (used when a session restarts).
+    pub fn reset(&mut self) {
+        self.polls = 0;
+        self.countdown = self.batch;
+        self.last_epoch = EventSource::global().epoch();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_triggers_validation_within_a_batch() {
+        let mut p = EventPoll::new(0); // no deterministic fallback
+        assert!(!p.should_validate());
+        EventSource::global().bump();
+        // The event is detected within one sampling batch (≤ 64 polls).
+        let detected = (0..64).any(|_| p.should_validate());
+        assert!(detected);
+    }
+
+    #[test]
+    fn deterministic_period_fires() {
+        let mut p = EventPoll::new(2);
+        let fired: Vec<bool> = (0..6).map(|_| p.should_validate()).collect();
+        // Unless another test bumps concurrently, every second poll fires.
+        assert!(fired.iter().filter(|&&b| b).count() >= 3);
+    }
+
+    #[test]
+    fn zero_period_never_fires_without_events() {
+        // Snapshot-based: only count polls where the epoch was stable
+        // across the whole run (other tests may bump concurrently).
+        let before = EventSource::global().epoch();
+        let mut p = EventPoll::new(0);
+        let mut fired = false;
+        for _ in 0..1000 {
+            fired |= p.should_validate();
+        }
+        if EventSource::global().epoch() == before {
+            assert!(!fired);
+        }
+    }
+
+    #[test]
+    fn ticker_advances_epoch() {
+        let src = EventSource::global();
+        let before = src.epoch();
+        {
+            let _t = src.start_ticker(Duration::from_millis(5));
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        assert!(src.epoch() > before);
+    }
+
+    #[test]
+    fn reset_clears_pending_validation() {
+        let mut p = EventPoll::new(1);
+        assert!(p.should_validate());
+        p.reset();
+        EventSource::global().bump();
+        p.reset(); // absorbs the event
+        // period==1 still fires deterministically though:
+        assert!(p.should_validate());
+    }
+}

@@ -1,0 +1,132 @@
+//! Faults raised inside critical sections.
+//!
+//! A read-only critical section executed speculatively can observe
+//! mutually inconsistent values, which in the paper manifests as Java
+//! runtime exceptions (null-pointer dereference, division by zero,
+//! array-index errors) or as infinite loops (§3.3). This reproduction
+//! models those as values of [`Fault`]: speculative code returns
+//! `Result<T, Fault>`, the recovery driver validates the lock word when
+//! a fault surfaces, and either retries the section (value changed — the
+//! fault may be a speculation artifact) or propagates it (value
+//! unchanged — the fault is genuine, inherent to the program).
+
+use core::fmt;
+
+/// A runtime fault inside a critical section.
+///
+/// # Examples
+///
+/// ```
+/// use solero_runtime::fault::Fault;
+///
+/// let f = Fault::NullPointer;
+/// assert!(!f.is_artifact_only());
+/// assert!(Fault::Inconsistent.is_artifact_only());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Dereference of a null object reference
+    /// (`java.lang.NullPointerException`).
+    NullPointer,
+    /// Array or slot index out of bounds
+    /// (`java.lang.ArrayIndexOutOfBoundsException`).
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The container length observed.
+        len: u32,
+    },
+    /// Object observed with an unexpected class
+    /// (`java.lang.ClassCastException`) — under speculation this arises
+    /// when a recycled handle now refers to an object of another class.
+    ClassCast {
+        /// Class id the code expected.
+        expected: u32,
+        /// Class id actually found.
+        found: u32,
+    },
+    /// Integer division or remainder by zero
+    /// (`java.lang.ArithmeticException`).
+    DivisionByZero,
+    /// A handle that refers to no live object — the speculative analogue
+    /// of a dangling pointer; never observable under a held lock.
+    StaleHandle {
+        /// The dangling handle value.
+        handle: u32,
+    },
+    /// Raised by a validation check-point: the lock word changed under a
+    /// speculative section (never a genuine program error).
+    Inconsistent,
+    /// Raised when a read-mostly section fails its in-place upgrade CAS
+    /// (Figure 17) and must re-execute while holding the lock (never a
+    /// genuine program error).
+    UpgradeFailed,
+}
+
+impl Fault {
+    /// True for faults that can only be produced by the speculation
+    /// machinery itself, never by the user program.
+    pub fn is_artifact_only(self) -> bool {
+        matches!(self, Fault::Inconsistent | Fault::UpgradeFailed)
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::NullPointer => write!(f, "null pointer dereference"),
+            Fault::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            Fault::ClassCast { expected, found } => {
+                write!(f, "class cast failed: expected class {expected}, found {found}")
+            }
+            Fault::DivisionByZero => write!(f, "division by zero"),
+            Fault::StaleHandle { handle } => write!(f, "stale object handle {handle}"),
+            Fault::Inconsistent => write!(f, "speculative reads were inconsistent"),
+            Fault::UpgradeFailed => write!(f, "read-mostly in-place lock upgrade failed"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let faults = [
+            Fault::NullPointer,
+            Fault::IndexOutOfBounds { index: -1, len: 4 },
+            Fault::ClassCast {
+                expected: 1,
+                found: 2,
+            },
+            Fault::DivisionByZero,
+            Fault::StaleHandle { handle: 9 },
+            Fault::Inconsistent,
+            Fault::UpgradeFailed,
+        ];
+        for f in faults {
+            let s = f.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn artifact_classification() {
+        assert!(Fault::Inconsistent.is_artifact_only());
+        assert!(Fault::UpgradeFailed.is_artifact_only());
+        assert!(!Fault::NullPointer.is_artifact_only());
+        assert!(!Fault::DivisionByZero.is_artifact_only());
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(Fault::NullPointer);
+        assert_eq!(e.to_string(), "null pointer dereference");
+    }
+}

@@ -1,0 +1,42 @@
+//! Shared runtime substrate for the SOLERO reproduction.
+//!
+//! This crate provides the JVM-runtime machinery that both the
+//! conventional (tasuki) lock and SOLERO are built on:
+//!
+//! * [`word`] — the flat-lock word layouts of the paper's Figures 1
+//!   and 5;
+//! * [`thread`] — non-zero 56-bit thread ids;
+//! * [`spin`] — the three-tier contention loops of Figure 3;
+//! * [`osmonitor`] — reentrant Java-style OS monitors and the monitor
+//!   table used by lock inflation;
+//! * [`events`] — asynchronous validation events (the JVM's GC-check
+//!   events the paper reuses to break inconsistent infinite loops);
+//! * [`fence`] — the memory-ordering points of §3.4, including the
+//!   deliberately weak `WeakBarrier-SOLERO` mode;
+//! * [`stats`] — the per-lock counters behind Table 1 and Figure 15.
+//!
+//! # Examples
+//!
+//! ```
+//! use solero_runtime::word::SoleroWord;
+//! use solero_runtime::thread::ThreadId;
+//!
+//! // A free SOLERO word carries a counter; acquisition replaces it with
+//! // tid|LOCK_BIT and release publishes counter+1.
+//! let free = SoleroWord::with_counter(10);
+//! let held = SoleroWord::held_by(ThreadId::current());
+//! assert!(free.is_elidable() && !held.is_elidable());
+//! assert_eq!(free.next_counter().counter(), Some(11));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod events;
+pub mod fault;
+pub mod fence;
+pub mod osmonitor;
+pub mod spin;
+pub mod stats;
+pub mod thread;
+pub mod word;

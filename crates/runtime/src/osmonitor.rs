@@ -1,0 +1,450 @@
+//! OS monitors and the monitor table.
+//!
+//! When a flat lock inflates, the lock word is replaced by a fat-lock id
+//! and all synchronization goes through an *OS monitor* — in the JVM a
+//! heavyweight mutex + condition-variable pair fetched from a table that
+//! maps the object to its monitor. We reproduce that: [`OsMonitor`] is a
+//! reentrant logical monitor built on a mutex and two condition variables
+//! (an entry set and a wait set, as in Java), and [`MonitorTable`] maps a
+//! lock's address to its monitor.
+//!
+//! For SOLERO the monitor additionally stores the **displaced counter**:
+//! the sequence value (already incremented) that is written back to the
+//! lock word on deflation, so concurrent speculative readers observe a
+//! changed value across any inflate/deflate cycle (paper §3.2).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::thread::ThreadId;
+
+#[derive(Debug, Default)]
+struct MonitorInner {
+    /// Raw id of the owning thread, 0 when unowned.
+    owner: u64,
+    /// Recursive entries by the owner beyond the first.
+    recursion: u32,
+    /// Threads blocked in `enter`.
+    queued: u32,
+    /// Threads parked in the wait set.
+    waiting: u32,
+}
+
+/// A reentrant, Java-style monitor.
+///
+/// Ownership is logical (recorded in the monitor state) rather than tied
+/// to a guard lifetime, so `enter` and `exit` may be separate calls — as
+/// the lock slow paths require.
+///
+/// # Examples
+///
+/// ```
+/// use solero_runtime::osmonitor::OsMonitor;
+/// use solero_runtime::thread::ThreadId;
+///
+/// let m = OsMonitor::new(1);
+/// let me = ThreadId::current();
+/// m.enter(me);
+/// m.enter(me); // reentrant
+/// m.exit(me);
+/// m.exit(me);
+/// assert!(!m.is_owned());
+/// ```
+#[derive(Debug)]
+pub struct OsMonitor {
+    id: u64,
+    inner: Mutex<MonitorInner>,
+    /// Entry set: threads waiting to own the monitor.
+    entry: Condvar,
+    /// Wait set: threads parked by [`OsMonitor::wait`].
+    waitset: Condvar,
+    /// SOLERO displaced counter word, written back on deflation.
+    displaced: AtomicU64,
+}
+
+impl OsMonitor {
+    /// Creates a monitor with the given fat-lock id.
+    pub fn new(id: u64) -> Self {
+        OsMonitor {
+            id,
+            inner: Mutex::new(MonitorInner::default()),
+            entry: Condvar::new(),
+            waitset: Condvar::new(),
+            displaced: AtomicU64::new(0),
+        }
+    }
+
+    /// The fat-lock id stored in inflated lock words.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the calling thread owns the monitor. Reentrant.
+    pub fn enter(&self, tid: ThreadId) {
+        let raw = tid.as_u64();
+        let mut g = self.inner.lock();
+        if g.owner == raw {
+            g.recursion += 1;
+            return;
+        }
+        g.queued += 1;
+        while g.owner != 0 {
+            self.entry.wait(&mut g);
+        }
+        g.queued -= 1;
+        g.owner = raw;
+    }
+
+    /// Attempts to own the monitor without blocking.
+    pub fn try_enter(&self, tid: ThreadId) -> bool {
+        let raw = tid.as_u64();
+        let mut g = self.inner.lock();
+        if g.owner == raw {
+            g.recursion += 1;
+            true
+        } else if g.owner == 0 {
+            g.owner = raw;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases one level of ownership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the monitor — that is a
+    /// lock-implementation bug, not a recoverable condition.
+    pub fn exit(&self, tid: ThreadId) {
+        let mut g = self.inner.lock();
+        assert_eq!(g.owner, tid.as_u64(), "monitor exit by non-owner");
+        if g.recursion > 0 {
+            g.recursion -= 1;
+        } else {
+            g.owner = 0;
+            self.entry.notify_one();
+        }
+    }
+
+    /// Java-style `wait`: atomically releases ownership (all recursion
+    /// levels) and parks until notified, then reacquires to the previous
+    /// depth before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the monitor.
+    pub fn wait(&self, tid: ThreadId) {
+        let raw = tid.as_u64();
+        let mut g = self.inner.lock();
+        assert_eq!(g.owner, raw, "monitor wait by non-owner");
+        let saved = g.recursion;
+        g.owner = 0;
+        g.recursion = 0;
+        g.waiting += 1;
+        self.entry.notify_one();
+        self.waitset.wait(&mut g);
+        g.waiting -= 1;
+        g.queued += 1;
+        while g.owner != 0 {
+            self.entry.wait(&mut g);
+        }
+        g.queued -= 1;
+        g.owner = raw;
+        g.recursion = saved;
+    }
+
+    /// Like [`OsMonitor::wait`], but returns after `timeout` even without
+    /// a notification. Returns `true` if notified, `false` on timeout.
+    ///
+    /// The flat-lock-contention protocol uses a timed wait: the paper's
+    /// Figure 2/6 fast-path releases are plain stores guarded by a prior
+    /// load, so an FLC bit set in the load→store window can be lost; the
+    /// timed re-check restores liveness without putting an atomic
+    /// read-modify-write on the release fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not own the monitor.
+    pub fn wait_timeout(&self, tid: ThreadId, timeout: std::time::Duration) -> bool {
+        let raw = tid.as_u64();
+        let mut g = self.inner.lock();
+        assert_eq!(g.owner, raw, "monitor wait by non-owner");
+        let saved = g.recursion;
+        g.owner = 0;
+        g.recursion = 0;
+        g.waiting += 1;
+        self.entry.notify_one();
+        let notified = !self.waitset.wait_for(&mut g, timeout).timed_out();
+        g.waiting -= 1;
+        g.queued += 1;
+        while g.owner != 0 {
+            self.entry.wait(&mut g);
+        }
+        g.queued -= 1;
+        g.owner = raw;
+        g.recursion = saved;
+        notified
+    }
+
+    /// The calling thread's ownership depth (1 = first entry), or 0 if it
+    /// does not own the monitor. The lock deflation policy checks
+    /// `depth == 1` before publishing a thin word on the final exit.
+    pub fn depth(&self, tid: ThreadId) -> u32 {
+        let g = self.inner.lock();
+        if g.owner == tid.as_u64() {
+            g.recursion + 1
+        } else {
+            0
+        }
+    }
+
+    /// Wakes every thread in the wait set.
+    pub fn notify_all(&self) {
+        self.waitset.notify_all();
+    }
+
+    /// Wakes one thread in the wait set.
+    pub fn notify_one(&self) {
+        self.waitset.notify_one();
+    }
+
+    /// True if some thread currently owns the monitor.
+    pub fn is_owned(&self) -> bool {
+        self.inner.lock().owner != 0
+    }
+
+    /// True if the calling thread owns the monitor.
+    pub fn owned_by(&self, tid: ThreadId) -> bool {
+        self.inner.lock().owner == tid.as_u64()
+    }
+
+    /// True if threads are blocked trying to enter — the deflation
+    /// heuristic keeps the lock fat while there is queued contention.
+    pub fn has_queued(&self) -> bool {
+        self.inner.lock().queued > 0
+    }
+
+    /// True if threads are parked in the wait set. Deflation must be
+    /// deferred while waiters exist: a waiter that reacquires the
+    /// monitor after a deflation would believe it holds a lock whose
+    /// word says otherwise.
+    pub fn has_waiters(&self) -> bool {
+        self.inner.lock().waiting > 0
+    }
+
+    /// Combined deflation guard: entry queue and wait set both empty.
+    pub fn idle_for_deflation(&self) -> bool {
+        let g = self.inner.lock();
+        g.queued == 0 && g.waiting == 0
+    }
+
+    /// Stores the displaced SOLERO counter word (already incremented past
+    /// the value speculative readers may have captured).
+    pub fn set_displaced(&self, word: u64) {
+        self.displaced.store(word, Ordering::Release);
+    }
+
+    /// The displaced counter word to publish on deflation.
+    pub fn displaced(&self) -> u64 {
+        self.displaced.load(Ordering::Acquire)
+    }
+
+    /// Advances the displaced counter by one release step, returning the
+    /// new value. Used when a writing critical section completes while
+    /// the lock is inflated, so that deflation never republishes a value
+    /// a speculative reader might still hold.
+    pub fn bump_displaced(&self) -> u64 {
+        self.displaced
+            .fetch_add(crate::word::COUNTER_STEP, Ordering::AcqRel)
+            .wrapping_add(crate::word::COUNTER_STEP)
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// Process-global table mapping a lock's identity (its word address) to
+/// its [`OsMonitor`], like the JVM's monitor cache.
+///
+/// # Examples
+///
+/// ```
+/// use solero_runtime::osmonitor::MonitorTable;
+///
+/// let key = 0xdead_beef_usize;
+/// let m1 = MonitorTable::global().monitor_for(key);
+/// let m2 = MonitorTable::global().monitor_for(key);
+/// assert_eq!(m1.id(), m2.id(), "same key, same monitor");
+/// MonitorTable::global().remove(key);
+/// ```
+#[derive(Debug)]
+pub struct MonitorTable {
+    shards: Vec<Mutex<HashMap<usize, Arc<OsMonitor>>>>,
+    next_id: AtomicU64,
+}
+
+impl MonitorTable {
+    fn new() -> Self {
+        MonitorTable {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The process-global table.
+    pub fn global() -> &'static MonitorTable {
+        static TABLE: OnceLock<MonitorTable> = OnceLock::new();
+        TABLE.get_or_init(MonitorTable::new)
+    }
+
+    #[inline]
+    fn shard(&self, key: usize) -> &Mutex<HashMap<usize, Arc<OsMonitor>>> {
+        &self.shards[(key >> 4) % SHARDS]
+    }
+
+    /// Returns the monitor for `key`, creating one on first use.
+    pub fn monitor_for(&self, key: usize) -> Arc<OsMonitor> {
+        let mut g = self.shard(key).lock();
+        if let Some(m) = g.get(&key) {
+            return Arc::clone(m);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let m = Arc::new(OsMonitor::new(id));
+        g.insert(key, Arc::clone(&m));
+        m
+    }
+
+    /// Drops the association for `key`. Called when a lock is destroyed
+    /// so a future lock at the same address starts fresh.
+    pub fn remove(&self, key: usize) {
+        self.shard(key).lock().remove(&key);
+    }
+
+    /// Number of live associations (for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if the table holds no associations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    #[test]
+    fn enter_exit_roundtrip() {
+        let m = OsMonitor::new(1);
+        let me = ThreadId::current();
+        assert!(!m.is_owned());
+        m.enter(me);
+        assert!(m.owned_by(me));
+        m.exit(me);
+        assert!(!m.is_owned());
+    }
+
+    #[test]
+    fn reentrancy_counts() {
+        let m = OsMonitor::new(1);
+        let me = ThreadId::current();
+        m.enter(me);
+        m.enter(me);
+        m.enter(me);
+        m.exit(me);
+        assert!(m.owned_by(me));
+        m.exit(me);
+        assert!(m.owned_by(me));
+        m.exit(me);
+        assert!(!m.is_owned());
+    }
+
+    #[test]
+    fn try_enter_fails_when_contended() {
+        let m = Arc::new(OsMonitor::new(1));
+        let me = ThreadId::current();
+        m.enter(me);
+        let m2 = Arc::clone(&m);
+        std::thread::spawn(move || {
+            let other = ThreadId::current();
+            assert!(!m2.try_enter(other));
+        })
+        .join()
+        .unwrap();
+        m.exit(me);
+    }
+
+    #[test]
+    fn contended_enter_blocks_until_exit() {
+        let m = Arc::new(OsMonitor::new(1));
+        let me = ThreadId::current();
+        m.enter(me);
+        let entered = Arc::new(AtomicBool::new(false));
+        let (m2, e2) = (Arc::clone(&m), Arc::clone(&entered));
+        let h = std::thread::spawn(move || {
+            let other = ThreadId::current();
+            m2.enter(other);
+            e2.store(true, Ordering::SeqCst);
+            m2.exit(other);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!entered.load(Ordering::SeqCst), "must block while owned");
+        assert!(m.has_queued());
+        m.exit(me);
+        h.join().unwrap();
+        assert!(entered.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn wait_releases_and_reacquires_recursion() {
+        let m = Arc::new(OsMonitor::new(1));
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            let me = ThreadId::current();
+            m2.enter(me);
+            m2.enter(me); // depth 2
+            m2.wait(me); // releases fully
+            assert!(m2.owned_by(me));
+            m2.exit(me);
+            m2.exit(me);
+            assert!(!m2.is_owned());
+        });
+        // Let the waiter park, then take the monitor ourselves and notify.
+        std::thread::sleep(Duration::from_millis(20));
+        let me = ThreadId::current();
+        m.enter(me);
+        m.notify_all();
+        m.exit(me);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn displaced_counter_bumps() {
+        let m = OsMonitor::new(9);
+        m.set_displaced(0x500);
+        assert_eq!(m.displaced(), 0x500);
+        assert_eq!(m.bump_displaced(), 0x600);
+        assert_eq!(m.displaced(), 0x600);
+    }
+
+    #[test]
+    fn table_is_idempotent_per_key() {
+        let t = MonitorTable::global();
+        let k = &t as *const _ as usize; // any unique address
+        let a = t.monitor_for(k);
+        let b = t.monitor_for(k);
+        assert_eq!(a.id(), b.id());
+        t.remove(k);
+        let c = t.monitor_for(k);
+        assert_ne!(a.id(), c.id(), "fresh monitor after removal");
+        t.remove(k);
+    }
+}

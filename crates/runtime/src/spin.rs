@@ -1,0 +1,191 @@
+//! Three-tier contention management — the paper's Figure 3.
+//!
+//! Flat-lock contention is resolved by three nested loops:
+//!
+//! * **tier 1** (innermost): a bounded busy-wait as back-off;
+//! * **tier 2** (middle): repeated probe/CAS attempts;
+//! * **tier 3** (outermost): yields the CPU between tier-2 rounds.
+//!
+//! When every tier is exhausted the caller escalates (inflates the lock).
+//! The probe is a closure so the same skeleton serves the conventional
+//! lock (Figure 3), the SOLERO write path, and the SOLERO slow read entry
+//! (Figure 8), each of which exits the loops for different word states.
+
+use core::fmt;
+use std::hint;
+
+/// What a spin probe decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe<T> {
+    /// Stop spinning with this result (lock acquired, or a state that the
+    /// caller handles outside the loops, e.g. "inflated — go to monitor").
+    Done(T),
+    /// Keep spinning.
+    Retry,
+}
+
+/// Tier iteration counts.
+///
+/// The defaults are sized for a simulator running on commodity hardware;
+/// the paper's exact `tier1/tier2/tier3` values are not published.
+///
+/// # Examples
+///
+/// ```
+/// use solero_runtime::spin::{SpinConfig, Probe};
+///
+/// let cfg = SpinConfig::default();
+/// let mut n = 0;
+/// let got = cfg.run(|| {
+///     n += 1;
+///     if n == 3 { Probe::Done("acquired") } else { Probe::Retry }
+/// });
+/// assert_eq!(got, Some("acquired"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SpinConfig {
+    /// Innermost busy-wait iterations between probes.
+    pub tier1: u32,
+    /// Probe attempts per tier-3 round.
+    pub tier2: u32,
+    /// Yield rounds before giving up (escalating to inflation).
+    pub tier3: u32,
+}
+
+impl Default for SpinConfig {
+    fn default() -> Self {
+        // Like production JVMs, spinning is effectively disabled on a
+        // uniprocessor: the lock holder cannot make progress while we
+        // spin, so yield almost immediately.
+        if uniprocessor() {
+            SpinConfig {
+                tier1: 0,
+                tier2: 2,
+                tier3: 2,
+            }
+        } else {
+            SpinConfig {
+                tier1: 64,
+                tier2: 32,
+                tier3: 4,
+            }
+        }
+    }
+}
+
+/// True when the host exposes a single hardware thread.
+fn uniprocessor() -> bool {
+    use std::sync::OnceLock;
+    static UP: OnceLock<bool> = OnceLock::new();
+    *UP.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get() == 1)
+            .unwrap_or(false)
+    })
+}
+
+impl fmt::Debug for SpinConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SpinConfig(tier1={}, tier2={}, tier3={})",
+            self.tier1, self.tier2, self.tier3
+        )
+    }
+}
+
+impl SpinConfig {
+    /// A configuration that never spins: a single probe and out.
+    /// Useful in tests that want deterministic escalation.
+    pub fn immediate() -> Self {
+        SpinConfig {
+            tier1: 0,
+            tier2: 1,
+            tier3: 1,
+        }
+    }
+
+    /// Runs the three-tier loop. Returns `Some(value)` if the probe
+    /// completed, or `None` when every tier is exhausted and the caller
+    /// should escalate.
+    pub fn run<T>(&self, mut probe: impl FnMut() -> Probe<T>) -> Option<T> {
+        for round in 0..self.tier3 {
+            for _ in 0..self.tier2 {
+                match probe() {
+                    Probe::Done(v) => return Some(v),
+                    Probe::Retry => {}
+                }
+                for _ in 0..self.tier1 {
+                    hint::spin_loop();
+                }
+            }
+            if round + 1 < self.tier3 {
+                std::thread::yield_now();
+            }
+        }
+        None
+    }
+
+    /// Total number of probe attempts the loop will make before
+    /// exhaustion.
+    pub fn max_probes(&self) -> u64 {
+        u64::from(self.tier2) * u64::from(self.tier3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_succeeds_on_first_probe() {
+        let got = SpinConfig::immediate().run(|| Probe::Done(7));
+        assert_eq!(got, Some(7));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let cfg = SpinConfig {
+            tier1: 0,
+            tier2: 3,
+            tier3: 2,
+        };
+        let mut probes = 0u64;
+        let got: Option<()> = cfg.run(|| {
+            probes += 1;
+            Probe::Retry
+        });
+        assert_eq!(got, None);
+        assert_eq!(probes, cfg.max_probes());
+    }
+
+    #[test]
+    fn succeeds_midway() {
+        let cfg = SpinConfig {
+            tier1: 1,
+            tier2: 10,
+            tier3: 3,
+        };
+        let mut n = 0;
+        let got = cfg.run(|| {
+            n += 1;
+            if n == 17 {
+                Probe::Done(n)
+            } else {
+                Probe::Retry
+            }
+        });
+        assert_eq!(got, Some(17));
+    }
+
+    #[test]
+    fn zero_tiers_probe_never_runs() {
+        let cfg = SpinConfig {
+            tier1: 0,
+            tier2: 0,
+            tier3: 0,
+        };
+        let got: Option<()> = cfg.run(|| panic!("probe must not run"));
+        assert_eq!(got, None);
+    }
+}

@@ -1,0 +1,216 @@
+//! Lock-operation statistics.
+//!
+//! The paper's evaluation reports lock frequency and read-only ratio
+//! (Table 1) and the speculative-failure ratio (Figure 15). Every lock
+//! in this reproduction carries a [`LockStats`] of relaxed atomic
+//! counters; the workload driver aggregates snapshots across locks and
+//! threads.
+
+use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$m:meta])* $name:ident),+ $(,)?) => {
+        /// Per-lock event counters. All increments are `Relaxed`; the
+        /// counters are statistics, not synchronization.
+        #[derive(Debug, Default)]
+        pub struct LockStats {
+            $($(#[$m])* pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`LockStats`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $($(#[$m])* pub $name: u64,)+
+        }
+
+        impl LockStats {
+            /// Copies the counters.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Resets every counter to zero.
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Field-wise sum, for aggregating across locks.
+            pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name + other.$name,)+
+                }
+            }
+
+            /// Field-wise difference (`self - earlier`), for windowed
+            /// measurements.
+            pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)+
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Writing critical sections entered (fast or slow path).
+    write_enters,
+    /// Writing entries satisfied by the fast-path CAS.
+    write_fast,
+    /// Recursive flat-lock entries.
+    recursive_enters,
+    /// Read-only critical sections started (per attempt group, not retry).
+    read_enters,
+    /// Read-only sections completed with the lock elided.
+    elision_success,
+    /// Speculative executions that failed validation or faulted and were
+    /// re-executed (counts each failed attempt).
+    elision_failure,
+    /// Read-only sections that fell back to acquiring the lock.
+    fallback_acquires,
+    /// Read-only sections that entered the slow entry path (lock busy at
+    /// first probe).
+    read_slow_enters,
+    /// Transitions thin → fat.
+    inflations,
+    /// Transitions fat → thin.
+    deflations,
+    /// Times a thread parked on the monitor because of flat-lock
+    /// contention (FLC protocol).
+    flc_waits,
+    /// Entries that went through the OS monitor (fat mode).
+    monitor_enters,
+    /// Validation checks triggered by asynchronous events at check-points.
+    async_validations,
+    /// Speculative faults (null pointer, bounds, ...) observed and
+    /// recovered from by re-execution.
+    speculative_faults,
+    /// Read-mostly sections that upgraded in place to holding the lock
+    /// (Figure 17 CAS succeeded).
+    mostly_upgrades,
+}
+
+impl StatsSnapshot {
+    /// Total critical sections (read + write) — the "lock operations" of
+    /// Table 1.
+    pub fn total_sections(&self) -> u64 {
+        self.write_enters + self.read_enters
+    }
+
+    /// Fraction of sections that were read-only (Table 1, last column).
+    pub fn read_only_ratio(&self) -> f64 {
+        let total = self.total_sections();
+        if total == 0 {
+            0.0
+        } else {
+            self.read_enters as f64 / total as f64
+        }
+    }
+
+    /// Fraction of speculative executions that failed (Figure 15).
+    ///
+    /// The denominator counts *executions* (successes + failed
+    /// attempts), matching the paper's "ratio of failures in the
+    /// speculative execution".
+    pub fn failure_ratio(&self) -> f64 {
+        let attempts = self.elision_success + self.elision_failure;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.elision_failure as f64 / attempts as f64
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sections={} (write={}, read={}), elided={}, failed={}, \
+             fallbacks={}, inflations={}, deflations={}, faults={}",
+            self.total_sections(),
+            self.write_enters,
+            self.read_enters,
+            self.elision_success,
+            self.elision_failure,
+            self.fallback_acquires,
+            self.inflations,
+            self.deflations,
+            self.speculative_faults,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let s = LockStats::default();
+        s.write_enters.fetch_add(3, Ordering::Relaxed);
+        s.elision_success.fetch_add(5, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.write_enters, 3);
+        assert_eq!(snap.elision_success, 5);
+        assert_eq!(snap.read_enters, 0);
+    }
+
+    #[test]
+    fn merge_and_since() {
+        let a = StatsSnapshot {
+            write_enters: 2,
+            read_enters: 8,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            write_enters: 1,
+            read_enters: 4,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.write_enters, 3);
+        assert_eq!(m.read_enters, 12);
+        let d = a.since(&b);
+        assert_eq!(d.write_enters, 1);
+        assert_eq!(d.read_enters, 4);
+    }
+
+    #[test]
+    fn ratios() {
+        let s = StatsSnapshot {
+            write_enters: 5,
+            read_enters: 95,
+            elision_success: 80,
+            elision_failure: 20,
+            ..Default::default()
+        };
+        assert!((s.read_only_ratio() - 0.95).abs() < 1e-12);
+        assert!((s.failure_ratio() - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        let s = StatsSnapshot::default();
+        assert_eq!(s.read_only_ratio(), 0.0);
+        assert_eq!(s.failure_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = LockStats::default();
+        s.inflations.fetch_add(7, Ordering::Relaxed);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", StatsSnapshot::default()).is_empty());
+    }
+}

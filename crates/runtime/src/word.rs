@@ -1,0 +1,586 @@
+//! Lock-word layouts.
+//!
+//! The paper uses two flat-lock word layouts (its Figures 1 and 5), both
+//! 64 bits wide in the evaluated JVM:
+//!
+//! ```text
+//! Conventional (tasuki) flat lock            SOLERO flat lock
+//! ┌──────────────┬──────────┬───┬───┐        ┌──────────────┬─────────┬───┬───┬───┐
+//! │ tid (56)     │ rec (6)  │FLC│INF│        │ ctr/tid (56) │ rec (5) │LCK│FLC│INF│
+//! └──────────────┴──────────┴───┴───┘        └──────────────┴─────────┴───┴───┴───┘
+//!  63           8 7        2  1   0           63           8 7       3  2   1   0
+//! ```
+//!
+//! * `INF` — inflation bit: the word holds a fat-lock (OS monitor) id.
+//! * `FLC` — flat-lock-contention bit: a contender is waiting on the
+//!   monitor for the flat lock to be released.
+//! * `LCK` — (SOLERO only) the lock bit: the flat lock is held and the
+//!   upper field is a thread id; when clear **and** `FLC`/`INF` are clear
+//!   the upper field is the sequence counter.
+//! * `rec` — recursion count of the flat-lock owner.
+//!
+//! The newtypes [`ConvWord`] and [`SoleroWord`] wrap raw `u64` values and
+//! expose the layouts; they are deliberately `Copy` value types — the
+//! atomic cell holding a word lives in the lock implementations.
+
+use core::fmt;
+
+use crate::thread::ThreadId;
+
+/// Bit 0: the lock is inflated; the upper field holds a monitor id.
+pub const INFLATION_BIT: u64 = 0x1;
+/// Bit 1: contention was detected on the flat lock.
+pub const FLC_BIT: u64 = 0x2;
+/// Bit 2 (SOLERO): the flat lock is held.
+pub const LOCK_BIT: u64 = 0x4;
+
+/// Shift of the upper field (thread id, counter, or monitor id).
+pub const FIELD_SHIFT: u32 = 8;
+/// Increment applied to the SOLERO counter on each release (`+ 0x100`).
+pub const COUNTER_STEP: u64 = 1 << FIELD_SHIFT;
+/// Width of the upper field in bits.
+pub const FIELD_BITS: u32 = 64 - FIELD_SHIFT;
+/// Maximum value representable in the upper (thread-id / counter) field.
+pub const FIELD_MAX: u64 = (1 << FIELD_BITS) - 1;
+
+/// Conventional layout: recursion occupies bits 2..=7, step `0x4`.
+pub const CONV_RECURSION_STEP: u64 = 0x4;
+/// Conventional recursion mask (six bits).
+pub const CONV_RECURSION_MASK: u64 = 0xfc;
+/// Maximum conventional recursion depth before the count saturates.
+pub const CONV_RECURSION_MAX: u64 = CONV_RECURSION_MASK / CONV_RECURSION_STEP;
+
+/// SOLERO layout: recursion occupies bits 3..=7, step `0x8`.
+pub const SOLERO_RECURSION_STEP: u64 = 0x8;
+/// SOLERO recursion mask (five bits).
+pub const SOLERO_RECURSION_MASK: u64 = 0xf8;
+/// Maximum SOLERO recursion depth before the count saturates.
+pub const SOLERO_RECURSION_MAX: u64 = SOLERO_RECURSION_MASK / SOLERO_RECURSION_STEP;
+
+/// Mask of the three low bits the SOLERO fast paths test (`v & 0x7`).
+pub const SOLERO_FAST_MASK: u64 = INFLATION_BIT | FLC_BIT | LOCK_BIT;
+/// Mask of all low (non-field) bits (`v & 0xff`).
+pub const LOW_MASK: u64 = 0xff;
+
+/// A conventional (tasuki) flat-lock word — the paper's Figure 1.
+///
+/// The word is zero when the lock is free. While held it contains the
+/// owner's thread id in the upper field plus a recursion count; while
+/// inflated it contains a monitor id and the inflation bit.
+///
+/// # Examples
+///
+/// ```
+/// use solero_runtime::word::ConvWord;
+/// use solero_runtime::thread::ThreadId;
+///
+/// let tid = ThreadId::from_raw(7).unwrap();
+/// let held = ConvWord::held_by(tid);
+/// assert!(held.is_held_flat());
+/// assert_eq!(held.tid(), Some(tid));
+/// assert_eq!(held.recursion(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ConvWord(pub u64);
+
+impl ConvWord {
+    /// The free (zero) word.
+    pub const FREE: ConvWord = ConvWord(0);
+
+    /// Word representing a first (non-recursive) acquisition by `tid`.
+    #[inline]
+    pub fn held_by(tid: ThreadId) -> Self {
+        ConvWord(tid.field_bits())
+    }
+
+    /// Word representing inflation to monitor `monitor_id`.
+    #[inline]
+    pub fn inflated(monitor_id: u64) -> Self {
+        debug_assert!(monitor_id <= FIELD_MAX);
+        ConvWord((monitor_id << FIELD_SHIFT) | INFLATION_BIT)
+    }
+
+    /// Raw value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True if the word is exactly zero (free, no FLC pending).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if the inflation bit is set.
+    #[inline]
+    pub fn is_inflated(self) -> bool {
+        self.0 & INFLATION_BIT != 0
+    }
+
+    /// True if the FLC (flat-lock contention) bit is set.
+    #[inline]
+    pub fn has_flc(self) -> bool {
+        self.0 & FLC_BIT != 0
+    }
+
+    /// True if the flat lock is held by some thread (not inflated, tid set).
+    #[inline]
+    pub fn is_held_flat(self) -> bool {
+        !self.is_inflated() && (self.0 >> FIELD_SHIFT) != 0
+    }
+
+    /// The owner thread id, if held flat.
+    #[inline]
+    pub fn tid(self) -> Option<ThreadId> {
+        if self.is_held_flat() {
+            ThreadId::from_raw(self.0 >> FIELD_SHIFT)
+        } else {
+            None
+        }
+    }
+
+    /// Monitor id, if inflated.
+    #[inline]
+    pub fn monitor_id(self) -> Option<u64> {
+        if self.is_inflated() {
+            Some(self.0 >> FIELD_SHIFT)
+        } else {
+            None
+        }
+    }
+
+    /// Recursion count of the flat owner.
+    #[inline]
+    pub fn recursion(self) -> u64 {
+        (self.0 & CONV_RECURSION_MASK) / CONV_RECURSION_STEP
+    }
+
+    /// Word with the recursion count incremented by one.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the count does not overflow its six bits; the
+    /// lock implementations inflate before saturation.
+    #[inline]
+    pub fn recurse(self) -> Self {
+        debug_assert!(self.recursion() < CONV_RECURSION_MAX);
+        ConvWord(self.0 + CONV_RECURSION_STEP)
+    }
+
+    /// Word with the recursion count decremented by one.
+    #[inline]
+    pub fn unrecurse(self) -> Self {
+        debug_assert!(self.recursion() > 0);
+        ConvWord(self.0 - CONV_RECURSION_STEP)
+    }
+
+    /// Word with the FLC bit set.
+    #[inline]
+    pub fn with_flc(self) -> Self {
+        ConvWord(self.0 | FLC_BIT)
+    }
+
+    /// Word with the FLC bit cleared.
+    #[inline]
+    pub fn without_flc(self) -> Self {
+        ConvWord(self.0 & !FLC_BIT)
+    }
+
+    /// True if the fast-path release test passes (`(w & 0xff) == 0`):
+    /// not inflated, no contention flag, recursion zero.
+    #[inline]
+    pub fn fast_releasable(self) -> bool {
+        self.0 & LOW_MASK == 0
+    }
+}
+
+impl fmt::Debug for ConvWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConvWord")
+            .field("raw", &format_args!("{:#x}", self.0))
+            .field("inflated", &self.is_inflated())
+            .field("flc", &self.has_flc())
+            .field("recursion", &self.recursion())
+            .field("field", &(self.0 >> FIELD_SHIFT))
+            .finish()
+    }
+}
+
+impl fmt::Display for ConvWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inflated() {
+            write!(f, "inflated(monitor={})", self.0 >> FIELD_SHIFT)
+        } else if self.is_held_flat() {
+            write!(
+                f,
+                "flat(tid={}, rec={}{})",
+                self.0 >> FIELD_SHIFT,
+                self.recursion(),
+                if self.has_flc() { ", flc" } else { "" }
+            )
+        } else {
+            write!(f, "free{}", if self.has_flc() { "(flc)" } else { "" })
+        }
+    }
+}
+
+impl fmt::LowerHex for ConvWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A SOLERO flat-lock word — the paper's Figure 5.
+///
+/// While **free** (low three bits clear) the upper field is a sequence
+/// counter; every writing critical section leaves it at a new value.
+/// While **held** the lock bit is set and the upper field is the owner's
+/// thread id. Inflation and FLC work as in the conventional layout.
+///
+/// # Examples
+///
+/// ```
+/// use solero_runtime::word::SoleroWord;
+/// use solero_runtime::thread::ThreadId;
+///
+/// let free = SoleroWord::with_counter(41);
+/// assert!(free.is_elidable());
+/// let tid = ThreadId::from_raw(9).unwrap();
+/// let held = SoleroWord::held_by(tid);
+/// assert!(held.is_held_flat());
+/// // Releasing increments the *pre-acquisition* counter value:
+/// let released = free.next_counter();
+/// assert_eq!(released.counter(), Some(42));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SoleroWord(pub u64);
+
+impl SoleroWord {
+    /// The initial word: counter zero, all flag bits clear.
+    pub const INIT: SoleroWord = SoleroWord(0);
+
+    /// Word holding counter value `c` with all flag bits clear.
+    #[inline]
+    pub fn with_counter(c: u64) -> Self {
+        debug_assert!(c <= FIELD_MAX);
+        SoleroWord(c << FIELD_SHIFT)
+    }
+
+    /// Word representing a first acquisition by `tid` (`tid | LOCK_BIT`).
+    #[inline]
+    pub fn held_by(tid: ThreadId) -> Self {
+        SoleroWord(tid.field_bits() | LOCK_BIT)
+    }
+
+    /// Word representing inflation to monitor `monitor_id`.
+    #[inline]
+    pub fn inflated(monitor_id: u64) -> Self {
+        debug_assert!(monitor_id <= FIELD_MAX);
+        SoleroWord((monitor_id << FIELD_SHIFT) | INFLATION_BIT)
+    }
+
+    /// Raw value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True if a read-only section may proceed optimistically:
+    /// `(w & 0x7) == 0` — not held, not inflated, no pending contention.
+    #[inline]
+    pub fn is_elidable(self) -> bool {
+        self.0 & SOLERO_FAST_MASK == 0
+    }
+
+    /// True if the lock bit is set (flat lock held).
+    #[inline]
+    pub fn is_held_flat(self) -> bool {
+        self.0 & LOCK_BIT != 0
+    }
+
+    /// True if the inflation bit is set.
+    #[inline]
+    pub fn is_inflated(self) -> bool {
+        self.0 & INFLATION_BIT != 0
+    }
+
+    /// True if the FLC bit is set.
+    #[inline]
+    pub fn has_flc(self) -> bool {
+        self.0 & FLC_BIT != 0
+    }
+
+    /// The counter value, if the word is in the free/counter state.
+    #[inline]
+    pub fn counter(self) -> Option<u64> {
+        if self.is_elidable() {
+            Some(self.0 >> FIELD_SHIFT)
+        } else {
+            None
+        }
+    }
+
+    /// The owner thread id, if held flat.
+    #[inline]
+    pub fn tid(self) -> Option<ThreadId> {
+        if self.is_held_flat() && !self.is_inflated() {
+            ThreadId::from_raw(self.0 >> FIELD_SHIFT)
+        } else {
+            None
+        }
+    }
+
+    /// Monitor id, if inflated.
+    #[inline]
+    pub fn monitor_id(self) -> Option<u64> {
+        if self.is_inflated() {
+            Some(self.0 >> FIELD_SHIFT)
+        } else {
+            None
+        }
+    }
+
+    /// Recursion count of the flat owner.
+    #[inline]
+    pub fn recursion(self) -> u64 {
+        (self.0 & SOLERO_RECURSION_MASK) / SOLERO_RECURSION_STEP
+    }
+
+    /// Word with the recursion count incremented (`+ 0x8`).
+    #[inline]
+    pub fn recurse(self) -> Self {
+        debug_assert!(self.recursion() < SOLERO_RECURSION_MAX);
+        SoleroWord(self.0 + SOLERO_RECURSION_STEP)
+    }
+
+    /// Word with the recursion count decremented (`- 0x8`).
+    #[inline]
+    pub fn unrecurse(self) -> Self {
+        debug_assert!(self.recursion() > 0);
+        SoleroWord(self.0 - SOLERO_RECURSION_STEP)
+    }
+
+    /// True if the fast-path release test passes
+    /// (`(w & 0xff) == LOCK_BIT`): held, recursion zero, no FLC, thin.
+    #[inline]
+    pub fn fast_releasable(self) -> bool {
+        self.0 & LOW_MASK == LOCK_BIT
+    }
+
+    /// The word a release publishes, given the word read **before** the
+    /// acquiring CAS (the local lock variable `v1` of Figure 6):
+    /// `v1 + 0x100`, advancing the sequence counter.
+    #[inline]
+    pub fn next_counter(self) -> Self {
+        debug_assert!(self.is_elidable());
+        SoleroWord(self.0.wrapping_add(COUNTER_STEP))
+    }
+
+    /// Word with the FLC bit set.
+    #[inline]
+    pub fn with_flc(self) -> Self {
+        SoleroWord(self.0 | FLC_BIT)
+    }
+
+    /// Word with the FLC bit cleared.
+    #[inline]
+    pub fn without_flc(self) -> Self {
+        SoleroWord(self.0 & !FLC_BIT)
+    }
+
+    /// True if the word's low **two** bits indicate the slow read path
+    /// must go to the monitor (`(v & 0x3) != 0` in Figure 8): the lock is
+    /// inflated or contended rather than merely held.
+    #[inline]
+    pub fn needs_monitor(self) -> bool {
+        self.0 & (INFLATION_BIT | FLC_BIT) != 0
+    }
+}
+
+impl fmt::Debug for SoleroWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SoleroWord")
+            .field("raw", &format_args!("{:#x}", self.0))
+            .field("inflated", &self.is_inflated())
+            .field("flc", &self.has_flc())
+            .field("held", &self.is_held_flat())
+            .field("recursion", &self.recursion())
+            .field("field", &(self.0 >> FIELD_SHIFT))
+            .finish()
+    }
+}
+
+impl fmt::Display for SoleroWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inflated() {
+            write!(f, "inflated(monitor={})", self.0 >> FIELD_SHIFT)
+        } else if self.is_held_flat() {
+            write!(
+                f,
+                "held(tid={}, rec={}{})",
+                self.0 >> FIELD_SHIFT,
+                self.recursion(),
+                if self.has_flc() { ", flc" } else { "" }
+            )
+        } else {
+            write!(
+                f,
+                "free(ctr={}{})",
+                self.0 >> FIELD_SHIFT,
+                if self.has_flc() { ", flc" } else { "" }
+            )
+        }
+    }
+}
+
+impl fmt::LowerHex for SoleroWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(n: u64) -> ThreadId {
+        ThreadId::from_raw(n).unwrap()
+    }
+
+    #[test]
+    fn conv_free_is_zero() {
+        assert!(ConvWord::FREE.is_zero());
+        assert!(!ConvWord::FREE.is_inflated());
+        assert!(!ConvWord::FREE.is_held_flat());
+        assert!(ConvWord::FREE.fast_releasable());
+        assert_eq!(ConvWord::FREE.tid(), None);
+    }
+
+    #[test]
+    fn conv_held_roundtrip() {
+        let w = ConvWord::held_by(tid(123));
+        assert!(w.is_held_flat());
+        assert_eq!(w.tid(), Some(tid(123)));
+        assert_eq!(w.recursion(), 0);
+        assert!(w.fast_releasable() == false || w.0 & LOW_MASK == 0);
+    }
+
+    #[test]
+    fn conv_recursion_steps() {
+        let mut w = ConvWord::held_by(tid(5));
+        for depth in 1..=CONV_RECURSION_MAX {
+            w = w.recurse();
+            assert_eq!(w.recursion(), depth);
+            assert_eq!(w.tid(), Some(tid(5)), "tid preserved at depth {depth}");
+        }
+        for depth in (0..CONV_RECURSION_MAX).rev() {
+            w = w.unrecurse();
+            assert_eq!(w.recursion(), depth);
+        }
+        assert!(w.0 & LOW_MASK == 0);
+    }
+
+    #[test]
+    fn conv_inflated_monitor_id() {
+        let w = ConvWord::inflated(99);
+        assert!(w.is_inflated());
+        assert_eq!(w.monitor_id(), Some(99));
+        assert_eq!(w.tid(), None);
+        assert!(!w.fast_releasable());
+    }
+
+    #[test]
+    fn conv_flc_bit() {
+        let w = ConvWord::held_by(tid(3)).with_flc();
+        assert!(w.has_flc());
+        assert!(!w.fast_releasable());
+        assert_eq!(w.without_flc(), ConvWord::held_by(tid(3)));
+    }
+
+    #[test]
+    fn solero_init_elidable() {
+        let w = SoleroWord::INIT;
+        assert!(w.is_elidable());
+        assert_eq!(w.counter(), Some(0));
+        assert!(!w.is_held_flat());
+    }
+
+    #[test]
+    fn solero_counter_advances_by_release() {
+        let w = SoleroWord::with_counter(7);
+        let next = w.next_counter();
+        assert_eq!(next.counter(), Some(8));
+        assert_ne!(w, next);
+    }
+
+    #[test]
+    fn solero_held_word_matches_figure6() {
+        let t = tid(42);
+        let held = SoleroWord::held_by(t);
+        // Figure 6: val = thread_id + LOCK_BIT.
+        assert_eq!(held.raw(), t.field_bits() | LOCK_BIT);
+        assert!(held.is_held_flat());
+        assert!(held.fast_releasable());
+        assert_eq!(held.tid(), Some(t));
+        assert!(!held.is_elidable());
+    }
+
+    #[test]
+    fn solero_recursion_blocks_fast_release() {
+        let w = SoleroWord::held_by(tid(1)).recurse();
+        assert_eq!(w.recursion(), 1);
+        assert!(!w.fast_releasable());
+        assert!(w.unrecurse().fast_releasable());
+    }
+
+    #[test]
+    fn solero_recursion_saturation_bound() {
+        let mut w = SoleroWord::held_by(tid(1));
+        for _ in 0..SOLERO_RECURSION_MAX {
+            w = w.recurse();
+        }
+        assert_eq!(w.recursion(), SOLERO_RECURSION_MAX);
+        assert_eq!(SOLERO_RECURSION_MAX, 31);
+    }
+
+    #[test]
+    fn solero_inflated_never_elidable() {
+        let w = SoleroWord::inflated(4);
+        assert!(!w.is_elidable());
+        assert!(w.needs_monitor());
+        assert_eq!(w.monitor_id(), Some(4));
+        assert_eq!(w.counter(), None);
+    }
+
+    #[test]
+    fn solero_flc_needs_monitor() {
+        let w = SoleroWord::held_by(tid(2)).with_flc();
+        assert!(w.needs_monitor());
+        assert!(!w.is_elidable());
+        let plain = SoleroWord::held_by(tid(2));
+        assert!(!plain.needs_monitor(), "merely-held spins, no monitor");
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        for s in [
+            format!("{}", ConvWord::FREE),
+            format!("{}", ConvWord::held_by(tid(1))),
+            format!("{}", ConvWord::inflated(2)),
+            format!("{}", SoleroWord::INIT),
+            format!("{}", SoleroWord::held_by(tid(1))),
+            format!("{}", SoleroWord::inflated(2)),
+        ] {
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn counter_wraps_without_entering_flag_bits() {
+        let w = SoleroWord::with_counter(FIELD_MAX);
+        let next = w.next_counter();
+        // Wrap-around folds back into the counter field, never the low bits.
+        assert_eq!(next.raw() & LOW_MASK, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the lock-word layouts: every state the protocols
+//! can produce must decode back to itself, and the state predicates
+//! must be mutually exclusive in the ways the fast paths rely on.
+
+use proptest::prelude::*;
+use solero_runtime::thread::ThreadId;
+use solero_runtime::word::{
+    ConvWord, SoleroWord, CONV_RECURSION_MAX, FIELD_MAX, SOLERO_RECURSION_MAX,
+};
+
+fn tid_strategy() -> impl Strategy<Value = ThreadId> {
+    (1u64..=FIELD_MAX).prop_map(|r| ThreadId::from_raw(r).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn conv_held_words_roundtrip(tid in tid_strategy(), rec in 0u64..=CONV_RECURSION_MAX) {
+        let mut w = ConvWord::held_by(tid);
+        for _ in 0..rec {
+            w = w.recurse();
+        }
+        prop_assert_eq!(w.tid(), Some(tid));
+        prop_assert_eq!(w.recursion(), rec);
+        prop_assert!(!w.is_inflated());
+        prop_assert!(w.is_held_flat());
+        // Fast release requires recursion 0 and clear flags.
+        prop_assert_eq!(w.fast_releasable(), rec == 0);
+        // FLC set/clear is an involution that preserves everything else.
+        prop_assert_eq!(w.with_flc().without_flc(), w);
+        prop_assert_eq!(w.with_flc().recursion(), rec);
+        prop_assert_eq!(w.with_flc().tid(), Some(tid));
+    }
+
+    #[test]
+    fn conv_inflated_words_decode(monitor in 1u64..=FIELD_MAX) {
+        let w = ConvWord::inflated(monitor);
+        prop_assert!(w.is_inflated());
+        prop_assert_eq!(w.monitor_id(), Some(monitor));
+        prop_assert_eq!(w.tid(), None);
+        prop_assert!(!w.fast_releasable());
+    }
+
+    #[test]
+    fn solero_state_predicates_are_exclusive(
+        tid in tid_strategy(),
+        counter in 0u64..=FIELD_MAX,
+        monitor in 1u64..=FIELD_MAX,
+        rec in 0u64..=SOLERO_RECURSION_MAX,
+    ) {
+        let free = SoleroWord::with_counter(counter);
+        let mut held = SoleroWord::held_by(tid);
+        for _ in 0..rec {
+            held = held.recurse();
+        }
+        let fat = SoleroWord::inflated(monitor);
+
+        // Exactly one of the three states per word.
+        prop_assert!(free.is_elidable() && !free.is_held_flat() && !free.is_inflated());
+        prop_assert!(!held.is_elidable() && held.is_held_flat() && !held.is_inflated());
+        prop_assert!(!fat.is_elidable() && fat.is_inflated());
+
+        // Decoding.
+        prop_assert_eq!(free.counter(), Some(counter));
+        prop_assert_eq!(held.tid(), Some(tid));
+        prop_assert_eq!(held.recursion(), rec);
+        prop_assert_eq!(fat.monitor_id(), Some(monitor));
+
+        // Fast release iff held with recursion 0 and clear flags.
+        prop_assert_eq!(held.fast_releasable(), rec == 0);
+        prop_assert!(!free.fast_releasable());
+        prop_assert!(!fat.fast_releasable());
+
+        // Monitor escalation: only FLC/inflation demand it.
+        prop_assert!(!free.needs_monitor());
+        prop_assert!(!held.needs_monitor());
+        prop_assert!(fat.needs_monitor());
+        prop_assert!(held.with_flc().needs_monitor());
+    }
+
+    #[test]
+    fn solero_release_always_changes_the_word(counter in 0u64..=FIELD_MAX) {
+        // The elision protocol's core invariant: a write section's
+        // release never republishes the pre-acquisition word.
+        let v1 = SoleroWord::with_counter(counter);
+        let released = v1.next_counter();
+        prop_assert_ne!(released, v1);
+        prop_assert!(released.is_elidable(), "released word is free again");
+    }
+
+    #[test]
+    fn solero_counter_chain_never_repeats_within_field_range(
+        start in 0u64..=FIELD_MAX - 1000,
+        steps in 1usize..1000,
+    ) {
+        // Successive releases produce pairwise distinct counter words as
+        // long as the 56-bit space does not wrap (the paper: > 68 years).
+        let mut w = SoleroWord::with_counter(start);
+        let first = w;
+        for _ in 0..steps {
+            let next = w.next_counter();
+            prop_assert_ne!(next, w);
+            prop_assert_ne!(next, first);
+            w = next;
+        }
+        prop_assert_eq!(w.counter(), Some(start + steps as u64));
+    }
+
+    #[test]
+    fn held_word_equals_figure6_encoding(tid in tid_strategy()) {
+        // Figure 6 line 4: val = thread_id + LOCK_BIT.
+        let w = SoleroWord::held_by(tid);
+        prop_assert_eq!(w.raw(), tid.field_bits() + 0x4);
+    }
+}

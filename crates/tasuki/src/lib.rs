@@ -1,0 +1,37 @@
+//! The conventional Java lock implementation — the paper's baseline
+//! `Lock`.
+//!
+//! Java's `synchronized` is implemented with a *bi-modal* ("tasuki")
+//! lock: a one-word **thin** (flat) lock acquired with a single CAS, that
+//! **inflates** into a **fat** lock backed by an OS monitor when
+//! contention persists, and **deflates** back when contention subsides.
+//! SOLERO (the `solero` crate) extends exactly this design, so the two
+//! implementations share the runtime substrate and differ only in the
+//! word layout and the read-only paths — mirroring the paper, where
+//! SOLERO "can coexist with bi-modal locking mechanisms" and replaces
+//! the conventional implementation.
+//!
+//! # Examples
+//!
+//! ```
+//! use solero_tasuki::TasukiLock;
+//! use std::sync::Arc;
+//!
+//! let lock = Arc::new(TasukiLock::new());
+//! let l2 = Arc::clone(&lock);
+//! let t = std::thread::spawn(move || {
+//!     let _g = l2.lock();
+//!     // exclusive access
+//! });
+//! {
+//!     let _g = lock.lock();
+//! }
+//! t.join().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod lock;
+
+pub use lock::{TasukiGuard, TasukiLock};

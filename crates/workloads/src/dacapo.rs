@@ -1,0 +1,176 @@
+//! Synthetic DaCapo-profile applications (paper Figure 16, Table 1).
+//!
+//! **Substitution note (see DESIGN.md §2):** DaCapo 9.10's h2, tomcat,
+//! tradebeans, and tradesoap are full Java applications; what Figure 16
+//! shows is that when the read-only synchronized-block ratio is low
+//! (0–11.4%, Table 1), SOLERO neither helps nor hurts (<1% delta).
+//! That conclusion depends only on each benchmark's *lock profile* —
+//! its synchronized-block frequency and read-only ratio — which these
+//! synthetic applications match: each models an application thread that
+//! interleaves non-synchronized "application work" with synchronized
+//! operations on a shared table, using Table 1's read-only ratio and a
+//! work grain calibrated to order the lock frequencies as in the paper.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use solero::{Checkpoint, SyncStrategy};
+use solero_collections::JHashMap;
+use solero_heap::Heap;
+use solero_runtime::stats::StatsSnapshot;
+
+/// The lock profile of one DaCapo benchmark (from the paper's Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct DacapoProfile {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Fraction of synchronized blocks that are read-only (Table 1).
+    pub read_only_ratio: f64,
+    /// Application-work iterations between synchronized blocks; larger
+    /// grain = lower lock frequency. Calibrated so the four benchmarks'
+    /// lock frequencies order as in Table 1 (tomcat > jbb > tradesoap >
+    /// h2 > tradebeans).
+    pub work_grain: u32,
+}
+
+/// The four multi-threaded DaCapo applications the paper evaluates.
+pub const DACAPO_PROFILES: [DacapoProfile; 4] = [
+    DacapoProfile {
+        name: "h2",
+        read_only_ratio: 0.0,
+        work_grain: 60,
+    },
+    DacapoProfile {
+        name: "tomcat",
+        read_only_ratio: 0.037,
+        work_grain: 10,
+    },
+    DacapoProfile {
+        name: "tradebeans",
+        read_only_ratio: 0.003,
+        work_grain: 70,
+    },
+    DacapoProfile {
+        name: "tradesoap",
+        read_only_ratio: 0.114,
+        work_grain: 30,
+    },
+];
+
+/// A synthetic DaCapo-profile application over a strategy.
+///
+/// Each thread owns a table and its lock (application-private state, as
+/// in the lightly contended DaCapo apps); the measured quantity is pure
+/// lock-implementation overhead, which is what Figure 16 compares.
+#[derive(Debug)]
+pub struct DacapoBench<S> {
+    heap: Arc<Heap>,
+    profile: DacapoProfile,
+    shards: Vec<(S, JHashMap)>,
+}
+
+impl<S: SyncStrategy> DacapoBench<S> {
+    /// Builds the benchmark for `threads` application threads.
+    pub fn new(profile: DacapoProfile, threads: usize, make: impl Fn() -> S) -> Self {
+        let heap = Arc::new(Heap::new((threads * 32 * 1024).max(1 << 18)));
+        let shards = (0..threads)
+            .map(|_| {
+                let map = JHashMap::new(&heap, 512).expect("setup");
+                for k in 0..256 {
+                    map.put(&heap, k, k).expect("populate");
+                }
+                (make(), map)
+            })
+            .collect();
+        DacapoBench {
+            heap,
+            profile,
+            shards,
+        }
+    }
+
+    /// One application step from thread `t`: some non-synchronized work
+    /// followed by one synchronized block.
+    pub fn op(&self, t: usize, rng: &mut SmallRng) {
+        // Application work outside any lock.
+        let mut x = rng.gen::<u64>() | 1;
+        for _ in 0..self.profile.work_grain {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        std::hint::black_box(x);
+
+        let (strat, map) = &self.shards[t % self.shards.len()];
+        let key = (x % 256) as i64;
+        if rng.gen::<f64>() < self.profile.read_only_ratio {
+            let _ = strat
+                .read_section(|ck| map.get(&self.heap, key, ck as &mut dyn Checkpoint))
+                .expect("no genuine faults");
+        } else {
+            strat.write_section(|| {
+                map.put(&self.heap, key, x as i64).expect("writer-side");
+            });
+        }
+    }
+
+    /// The benchmark's profile.
+    pub fn profile(&self) -> &DacapoProfile {
+        &self.profile
+    }
+
+    /// Merged lock statistics.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.shards
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, (s, _)| acc.merge(&s.snapshot()))
+    }
+
+    /// Resets statistics.
+    pub fn reset_stats(&self) {
+        for (s, _) in &self.shards {
+            s.reset_stats();
+        }
+    }
+
+    /// Strategy name.
+    pub fn name(&self) -> &'static str {
+        self.shards[0].0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use solero::{LockStrategy, SoleroStrategy};
+
+    #[test]
+    fn profiles_match_table1_ratios() {
+        for p in DACAPO_PROFILES {
+            let b = DacapoBench::new(p, 1, SoleroStrategy::new);
+            let mut rng = SmallRng::seed_from_u64(5);
+            for _ in 0..20_000 {
+                b.op(0, &mut rng);
+            }
+            let measured = b.snapshot().read_only_ratio();
+            assert!(
+                (measured - p.read_only_ratio).abs() < 0.02,
+                "{}: measured {measured:.4}, profile {:.4}",
+                p.name,
+                p.read_only_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn runs_on_conventional_lock() {
+        let b = DacapoBench::new(DACAPO_PROFILES[1], 2, LockStrategy::new);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for i in 0..1_000 {
+            b.op(i % 2, &mut rng);
+        }
+        assert_eq!(b.snapshot().total_sections(), 1_000);
+    }
+}

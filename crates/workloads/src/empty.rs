@@ -1,0 +1,71 @@
+//! The `Empty` micro-benchmark (paper Figure 10).
+//!
+//! An empty synchronized block executed in a loop — pure lock overhead.
+//! The paper classifies the empty block as read-only, so under SOLERO it
+//! elides; `Unelided-SOLERO` and `WeakBarrier-SOLERO` isolate the cost
+//! of the write path and of the stronger memory fences respectively.
+
+use solero::SyncStrategy;
+use solero_runtime::stats::StatsSnapshot;
+
+/// The empty-synchronized-block workload over a strategy.
+#[derive(Debug)]
+pub struct EmptyBench<S> {
+    strat: S,
+}
+
+impl<S: SyncStrategy> EmptyBench<S> {
+    /// Wraps a strategy.
+    pub fn new(strat: S) -> Self {
+        EmptyBench { strat }
+    }
+
+    /// One empty synchronized block (read-only — it writes nothing).
+    #[inline]
+    pub fn op(&self) {
+        self.strat
+            .read_section(|_| Ok(()))
+            .expect("empty section cannot fault");
+    }
+
+    /// Lock statistics.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.strat.snapshot()
+    }
+
+    /// Resets statistics.
+    pub fn reset_stats(&self) {
+        self.strat.reset_stats();
+    }
+
+    /// Strategy name.
+    pub fn name(&self) -> &'static str {
+        self.strat.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solero::{LockStrategy, RwLockStrategy, SoleroStrategy};
+
+    #[test]
+    fn empty_op_counts_one_read_section() {
+        let b = EmptyBench::new(SoleroStrategy::new());
+        for _ in 0..10 {
+            b.op();
+        }
+        let s = b.snapshot();
+        assert_eq!(s.read_enters, 10);
+        assert_eq!(s.elision_success, 10);
+        assert_eq!(s.write_enters, 0);
+    }
+
+    #[test]
+    fn all_strategies_execute_the_empty_block() {
+        EmptyBench::new(LockStrategy::new()).op();
+        EmptyBench::new(RwLockStrategy::new()).op();
+        EmptyBench::new(SoleroStrategy::unelided()).op();
+        EmptyBench::new(SoleroStrategy::weak_barrier()).op();
+    }
+}

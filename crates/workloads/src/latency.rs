@@ -1,0 +1,187 @@
+//! Per-operation latency distribution.
+//!
+//! Throughput (the paper's metric) hides the *tail*: a conventional
+//! lock's reader can be descheduled holding the lock and stall every
+//! other thread, while SOLERO readers cannot block anyone. The latency
+//! histogram makes that visible — an addition to the paper's
+//! methodology, reported by `reproduce latency`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Number of log2 buckets (covers 1 ns .. ~77 h).
+const BUCKETS: usize = 48;
+
+/// A lock-free log2 latency histogram.
+///
+/// # Examples
+///
+/// ```
+/// use solero_workloads::latency::LatencyHistogram;
+///
+/// let h = LatencyHistogram::new();
+/// for ns in [100, 200, 400, 100_000] {
+///     h.record_ns(ns);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(0.5) >= 100 && h.percentile(0.5) <= 512);
+/// assert!(h.percentile(1.0) >= 65_536);
+/// ```
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one sample in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let b = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate `p`-quantile in nanoseconds (upper bucket bound);
+    /// `p` in `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1); // upper bound of the bucket
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter().zip(&other.buckets) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Percentile summary of one latency measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyReport {
+    /// Median, ns (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile, ns.
+    pub p90: u64,
+    /// 99th percentile, ns.
+    pub p99: u64,
+    /// 99.9th percentile, ns.
+    pub p999: u64,
+    /// Samples recorded.
+    pub samples: u64,
+}
+
+/// Runs `op` from `threads` threads, `samples_per_thread` times each,
+/// timing every invocation.
+pub fn measure_latency<F>(threads: usize, samples_per_thread: u64, op: F) -> LatencyReport
+where
+    F: Fn(usize, &mut SmallRng) + Sync,
+{
+    let hist = LatencyHistogram::new();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let hist = &hist;
+            let op = &op;
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t as u64 + 1);
+                let local = LatencyHistogram::new();
+                for _ in 0..samples_per_thread {
+                    let t0 = Instant::now();
+                    op(t, &mut rng);
+                    local.record_ns(t0.elapsed().as_nanos() as u64);
+                }
+                hist.merge(&local);
+            });
+        }
+    });
+    LatencyReport {
+        p50: hist.percentile(0.50),
+        p90: hist.percentile(0.90),
+        p99: hist.percentile(0.99),
+        p999: hist.percentile(0.999),
+        samples: hist.count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record_ns(i * 17);
+        }
+        let p50 = h.percentile(0.5);
+        let p90 = h.percentile(0.9);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+    }
+
+    #[test]
+    fn extreme_values_clamp() {
+        let h = LatencyHistogram::new();
+        h.record_ns(0); // clamps to bucket 0
+        h.record_ns(u64::MAX); // clamps to the last bucket
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_ns(100);
+        b.record_ns(100);
+        b.record_ns(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn measure_latency_collects_all_samples() {
+        let r = measure_latency(2, 500, |_, _| {
+            std::hint::black_box(42);
+        });
+        assert_eq!(r.samples, 1_000);
+        assert!(r.p50 <= r.p999);
+    }
+}

@@ -1,0 +1,304 @@
+//! The HashMap and TreeMap micro-benchmarks (paper Figures 11–13, 15).
+//!
+//! A shared `java.util.HashMap`/`TreeMap` with 1K entries accessed
+//! inside synchronized blocks. Configurations:
+//!
+//! * **0% writes** — every operation is a `get` (read-only section);
+//! * **5% writes** — 5% of operations are `put`s (writing sections);
+//! * **fine-grained** — one map *per thread*, each behind its own lock,
+//!   with operations landing on a uniformly random map (Figure 12(c)).
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use solero::{Checkpoint, Fault, SyncStrategy};
+use solero_collections::{JHashMap, JTreeMap};
+use solero_heap::Heap;
+use solero_runtime::stats::StatsSnapshot;
+
+/// Which map class backs the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapKind {
+    /// `java.util.HashMap` equivalent.
+    Hash,
+    /// `java.util.TreeMap` equivalent.
+    Tree,
+}
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MapConfig {
+    /// Which collection.
+    pub kind: MapKind,
+    /// Pre-populated entries per map (the paper uses 1K).
+    pub entries: i64,
+    /// Percentage of operations that write (`put`), 0–100.
+    pub write_pct: u32,
+    /// Number of independent maps, each with its own lock (1 = the
+    /// coarse version; `threads` = the fine-grained version).
+    pub shards: usize,
+}
+
+impl MapConfig {
+    /// The paper's 1K-entry configuration.
+    pub fn paper(kind: MapKind, write_pct: u32, shards: usize) -> Self {
+        MapConfig {
+            kind,
+            entries: 1024,
+            write_pct,
+            shards,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum AnyMap {
+    Hash(JHashMap),
+    Tree(JTreeMap),
+}
+
+impl AnyMap {
+    fn get(
+        &self,
+        heap: &Heap,
+        k: i64,
+        ck: &mut dyn Checkpoint,
+    ) -> Result<Option<i64>, Fault> {
+        match self {
+            AnyMap::Hash(m) => m.get(heap, k, ck),
+            AnyMap::Tree(m) => m.get(heap, k, ck),
+        }
+    }
+
+    fn put(&self, heap: &Heap, k: i64, v: i64) -> Result<Option<i64>, Fault> {
+        match self {
+            AnyMap::Hash(m) => m.put(heap, k, v),
+            AnyMap::Tree(m) => m.put(heap, k, v),
+        }
+    }
+
+    fn remove(&self, heap: &Heap, k: i64) -> Result<Option<i64>, Fault> {
+        match self {
+            AnyMap::Hash(m) => m.remove(heap, k),
+            AnyMap::Tree(m) => m.remove(heap, k),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shard<S> {
+    strat: S,
+    map: AnyMap,
+}
+
+/// The map benchmark over a strategy.
+#[derive(Debug)]
+pub struct MapBench<S> {
+    heap: Arc<Heap>,
+    shards: Vec<Shard<S>>,
+    cfg: MapConfig,
+}
+
+impl<S: SyncStrategy> MapBench<S> {
+    /// Builds and pre-populates the maps.
+    pub fn new(cfg: MapConfig, make: impl Fn() -> S) -> Self {
+        // Size the heap for entries plus write-churn headroom.
+        let words = (cfg.entries as usize * cfg.shards * 24 + (1 << 16))
+            .next_power_of_two()
+            .max(1 << 18);
+        let heap = Arc::new(Heap::new(words));
+        let shards = (0..cfg.shards)
+            .map(|_| {
+                let map = match cfg.kind {
+                    MapKind::Hash => AnyMap::Hash(
+                        JHashMap::new(&heap, cfg.entries as usize * 2).expect("setup"),
+                    ),
+                    MapKind::Tree => AnyMap::Tree(JTreeMap::new(&heap).expect("setup")),
+                };
+                for k in 0..cfg.entries {
+                    map.put(&heap, k, k * 3 + 1).expect("populate");
+                }
+                Shard { strat: make(), map }
+            })
+            .collect();
+        MapBench { heap, shards, cfg }
+    }
+
+    /// One benchmark operation from thread `t`.
+    #[inline]
+    pub fn op(&self, _t: usize, rng: &mut SmallRng) {
+        let shard = if self.shards.len() == 1 {
+            &self.shards[0]
+        } else {
+            &self.shards[rng.gen_range(0..self.shards.len())]
+        };
+        let key = rng.gen_range(0..self.cfg.entries);
+        if self.cfg.write_pct > 0 && rng.gen_range(0..100) < self.cfg.write_pct {
+            // Writing critical section. Alternate update/remove+insert so
+            // nodes churn (recycled handles are what speculative readers
+            // trip over, as in a real JVM heap).
+            let v = rng.gen::<i64>() | 1;
+            shard.strat.write_section(|| {
+                if v & 2 == 0 {
+                    shard.map.remove(&self.heap, key).expect("writer-side");
+                    shard.map.put(&self.heap, key, v).expect("writer-side");
+                } else {
+                    shard.map.put(&self.heap, key, v).expect("writer-side");
+                }
+            });
+        } else {
+            // Read-only critical section.
+            let got = shard
+                .strat
+                .read_section(|ck| shard.map.get(&self.heap, key, ck as &mut dyn Checkpoint))
+                .expect("reads cannot genuinely fault here");
+            std::hint::black_box(got);
+        }
+    }
+
+    /// Merged lock statistics across shards.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.shards
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, s| acc.merge(&s.strat.snapshot()))
+    }
+
+    /// Resets statistics on every shard.
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            s.strat.reset_stats();
+        }
+    }
+
+    /// Strategy name.
+    pub fn name(&self) -> &'static str {
+        self.shards[0].strat.name()
+    }
+
+    /// The benchmark configuration.
+    pub fn config(&self) -> &MapConfig {
+        &self.cfg
+    }
+}
+
+/// Convenience: a read-mostly variant where writes go through the §5
+/// read-mostly path instead of a separate writing section — used by the
+/// extension example and the ablation bench.
+impl<S: SyncStrategy> MapBench<S> {
+    /// One operation routed entirely through `mostly_section`: reads
+    /// stay speculative, the occasional write upgrades in place.
+    pub fn op_mostly(&self, rng: &mut SmallRng) {
+        let shard = &self.shards[0];
+        let key = rng.gen_range(0..self.cfg.entries);
+        let write = self.cfg.write_pct > 0 && rng.gen_range(0..100) < self.cfg.write_pct;
+        let v = rng.gen::<i64>() | 1;
+        shard
+            .strat
+            .mostly_section(|ck| {
+                let cur = shard.map.get(&self.heap, key, ck as &mut dyn Checkpoint)?;
+                if write {
+                    ck.ensure_write()?;
+                    shard.map.put(&self.heap, key, v)?;
+                }
+                Ok(cur)
+            })
+            .expect("no genuine faults");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use solero::{LockStrategy, RwLockStrategy, SoleroStrategy};
+
+    fn smoke<S: SyncStrategy>(make: impl Fn() -> S, kind: MapKind, write_pct: u32) {
+        let b = MapBench::new(
+            MapConfig {
+                kind,
+                entries: 128,
+                write_pct,
+                shards: 2,
+            },
+            make,
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..500 {
+            b.op(0, &mut rng);
+        }
+        let s = b.snapshot();
+        assert_eq!(s.total_sections(), 500);
+        if write_pct == 0 {
+            assert_eq!(s.write_enters, 0);
+            assert!((s.read_only_ratio() - 1.0).abs() < 1e-9);
+        } else {
+            assert!(s.write_enters > 0);
+            assert!(s.read_only_ratio() > 0.8);
+        }
+    }
+
+    #[test]
+    fn hash_smoke_all_strategies() {
+        smoke(LockStrategy::new, MapKind::Hash, 0);
+        smoke(RwLockStrategy::new, MapKind::Hash, 5);
+        smoke(SoleroStrategy::new, MapKind::Hash, 5);
+    }
+
+    #[test]
+    fn tree_smoke_all_strategies() {
+        smoke(LockStrategy::new, MapKind::Tree, 5);
+        smoke(RwLockStrategy::new, MapKind::Tree, 0);
+        smoke(SoleroStrategy::new, MapKind::Tree, 5);
+    }
+
+    #[test]
+    fn solero_read_only_config_elides_everything() {
+        let b = MapBench::new(MapConfig::paper(MapKind::Hash, 0, 1), SoleroStrategy::new);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            b.op(0, &mut rng);
+        }
+        let s = b.snapshot();
+        assert_eq!(s.elision_success, 1000);
+        assert_eq!(s.elision_failure, 0);
+    }
+
+    #[test]
+    fn mostly_path_upgrades_on_writes() {
+        let b = MapBench::new(
+            MapConfig {
+                kind: MapKind::Hash,
+                entries: 64,
+                write_pct: 50,
+                shards: 1,
+            },
+            SoleroStrategy::new,
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            b.op_mostly(&mut rng);
+        }
+        let s = b.snapshot();
+        assert!(s.mostly_upgrades > 0, "{s}");
+        assert!(s.elision_success > 0, "{s}");
+    }
+
+    #[test]
+    fn concurrent_map_bench_is_sound() {
+        let b = MapBench::new(MapConfig::paper(MapKind::Tree, 5, 1), SoleroStrategy::new);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let b = &b;
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(t as u64);
+                    for _ in 0..5_000 {
+                        b.op(t, &mut rng);
+                    }
+                });
+            }
+        });
+        let s = b.snapshot();
+        assert_eq!(s.total_sections(), 20_000);
+    }
+}

@@ -1,0 +1,102 @@
+//! Lock statistics per benchmark — the paper's Table 1.
+//!
+//! For every benchmark of the evaluation, measures the lock frequency
+//! (millions of lock operations per second) and the fraction of
+//! critical sections that are read-only, on a single thread under the
+//! SOLERO strategy (classification is strategy-independent; frequency
+//! of course depends on the host, so the paper's absolute POWER6
+//! numbers are matched in *ordering*, not magnitude).
+
+use rand::rngs::SmallRng;
+use solero::SoleroStrategy;
+
+use crate::dacapo::{DacapoBench, DACAPO_PROFILES};
+use crate::driver::{measure, Measurement, RunConfig};
+use crate::empty::EmptyBench;
+use crate::jbb::JbbBench;
+use crate::maps::{MapBench, MapConfig, MapKind};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name, as in the paper.
+    pub benchmark: String,
+    /// Millions of lock operations (critical sections) per second.
+    pub mlocks_per_sec: f64,
+    /// Percentage of read-only critical sections.
+    pub read_only_pct: f64,
+}
+
+fn row(name: &str, m: &Measurement) -> Table1Row {
+    Table1Row {
+        benchmark: name.to_string(),
+        mlocks_per_sec: m.stats.total_sections() as f64 / m.measured_secs / 1e6,
+        read_only_pct: m.stats.read_only_ratio() * 100.0,
+    }
+}
+
+/// Measures every benchmark and returns the table rows.
+pub fn collect(cfg: &RunConfig) -> Vec<Table1Row> {
+    let cfg = RunConfig { threads: 1, ..*cfg };
+    let mut rows = Vec::new();
+
+    let empty = EmptyBench::new(SoleroStrategy::new());
+    let m = measure(&cfg, |_, _| empty.op(), || empty.snapshot());
+    rows.push(row("Empty", &m));
+
+    for (kind, label) in [(MapKind::Hash, "HashMap"), (MapKind::Tree, "TreeMap")] {
+        for writes in [0u32, 5] {
+            let b = MapBench::new(MapConfig::paper(kind, writes, 1), SoleroStrategy::new);
+            let m = measure(
+                &cfg,
+                |t, rng: &mut SmallRng| b.op(t, rng),
+                || b.snapshot(),
+            );
+            rows.push(row(&format!("{label} ({writes}% writes)"), &m));
+        }
+    }
+
+    let jbb = JbbBench::new(1, SoleroStrategy::new);
+    let m = measure(&cfg, |t, rng| jbb.op(t, rng), || jbb.snapshot());
+    rows.push(row("SPECjbb2005 (mini)", &m));
+
+    for p in DACAPO_PROFILES {
+        let b = DacapoBench::new(p, 1, SoleroStrategy::new);
+        let m = measure(&cfg, |t, rng| b.op(t, rng), || b.snapshot());
+        rows.push(row(p.name, &m));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn collects_all_rows_with_sane_ratios() {
+        let cfg = RunConfig {
+            threads: 1,
+            warmup: Duration::from_millis(5),
+            window: Duration::from_millis(25),
+            windows: 1,
+            runs: 1,
+        };
+        let rows = collect(&cfg);
+        assert_eq!(rows.len(), 10);
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.benchmark.starts_with(n))
+                .unwrap_or_else(|| panic!("row {n}"))
+        };
+        assert!(by_name("Empty").read_only_pct > 99.0);
+        assert!(by_name("HashMap (0% writes)").read_only_pct > 99.0);
+        assert!(by_name("HashMap (5% writes)").read_only_pct > 90.0);
+        assert!(by_name("h2").read_only_pct < 1.0);
+        let jbb = by_name("SPECjbb2005");
+        assert!((40.0..=70.0).contains(&jbb.read_only_pct), "{}", jbb.read_only_pct);
+        for r in &rows {
+            assert!(r.mlocks_per_sec > 0.0, "{}: zero lock frequency", r.benchmark);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! A read-mostly in-memory cache — the workload SOLERO is built for.
+//!
+//! Run with: `cargo run --release --example concurrent_cache`
+//!
+//! A session cache (shadow-heap `JHashMap`) is read by many worker
+//! threads and occasionally refreshed by a writer. The same code runs
+//! under the conventional monitor, the read-write lock, and SOLERO;
+//! the example prints the throughput and lock statistics of each.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use solero::{Checkpoint, LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
+use solero_collections::JHashMap;
+use solero_heap::Heap;
+
+const SESSIONS: i64 = 4_096;
+const READERS: usize = 4;
+const RUN: Duration = Duration::from_millis(400);
+
+fn run_cache<S: SyncStrategy>(strat: S) -> (f64, String) {
+    let heap = Arc::new(Heap::new(1 << 20));
+    let cache = JHashMap::new(&heap, SESSIONS as usize).expect("setup");
+    for k in 0..SESSIONS {
+        cache.put(&heap, k, k * 17).expect("populate");
+    }
+    let strat = Arc::new(strat);
+    let stop = Arc::new(AtomicBool::new(false));
+    let lookups = Arc::new(AtomicU64::new(0));
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        // Readers: session lookups, read-only critical sections.
+        for r in 0..READERS {
+            let (heap, strat, stop, lookups) = (
+                Arc::clone(&heap),
+                Arc::clone(&strat),
+                Arc::clone(&stop),
+                Arc::clone(&lookups),
+            );
+            s.spawn(move || {
+                let mut k = r as i64;
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    k = (k * 1_103_515_245 + 12_345) & (SESSIONS - 1);
+                    let hit = strat
+                        .read_section(|ck| cache.get(&heap, k, ck as &mut dyn Checkpoint))
+                        .expect("lookup");
+                    std::hint::black_box(hit);
+                    n += 1;
+                }
+                lookups.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        // One writer: periodic session refresh (about 0.5% of ops).
+        {
+            let (heap, strat, stop) = (Arc::clone(&heap), Arc::clone(&strat), Arc::clone(&stop));
+            s.spawn(move || {
+                let mut k = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    k = (k + 97) & (SESSIONS - 1);
+                    strat.write_section(|| {
+                        cache.put(&heap, k, k * 31).expect("refresh");
+                    });
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+        }
+        std::thread::sleep(RUN);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let rate = lookups.load(Ordering::Relaxed) as f64 / secs / 1e6;
+    (rate, format!("{}", strat.snapshot()))
+}
+
+fn main() {
+    println!("session cache: {READERS} readers + 1 refresher, {SESSIONS} sessions\n");
+    let (lock_rate, lock_stats) = run_cache(LockStrategy::new());
+    let (rw_rate, rw_stats) = run_cache(RwLockStrategy::new());
+    let (so_rate, so_stats) = run_cache(SoleroStrategy::new());
+    println!("Lock   : {lock_rate:.2} M lookups/s\n         {lock_stats}");
+    println!("RWLock : {rw_rate:.2} M lookups/s\n         {rw_stats}");
+    println!("SOLERO : {so_rate:.2} M lookups/s\n         {so_stats}");
+    println!(
+        "\nSOLERO vs Lock: {:.2}x, vs RWLock: {:.2}x",
+        so_rate / lock_rate,
+        so_rate / rw_rate
+    );
+}

@@ -1,0 +1,166 @@
+//! Automatic elision through the JIT pipeline.
+//!
+//! Run with: `cargo run --release --example jit_elision`
+//!
+//! Builds a small "bank" program in the bytecode-like IR, lets the
+//! analysis classify its synchronized regions (read-only, read-mostly,
+//! writing — printing the violations it found), and executes it with
+//! the interpreter: read-only regions elide automatically, with no
+//! annotation and no change to the program.
+
+use std::sync::Arc;
+
+use solero::SoleroLock;
+use solero_heap::{ClassId, Heap};
+use solero_jit::analysis::{classify_method, RegionClass};
+use solero_jit::builder::MethodBuilder;
+use solero_jit::interp::{Interpreter, RuntimeLock};
+use solero_jit::ir::{BinOp, Cmp, Program};
+
+/// Account object layout: [balance, flags].
+const ACCOUNT: ClassId = ClassId::new(1);
+/// Array-of-accounts layout.
+const BOOK: ClassId = ClassId::new(2);
+
+fn build_program() -> Program {
+    let mut p = Program::new();
+
+    // fn balance(acct) { synchronized(l0) { b = acct.balance } return b }
+    let mut b = MethodBuilder::new("balance", 1);
+    let v = b.fresh_local();
+    b.monitor_enter(0)
+        .get_field(v, 0, ACCOUNT, 0)
+        .monitor_exit(0)
+        .ret(Some(v));
+    p.add(b.finish());
+
+    // fn deposit(acct, amt) { synchronized(l0) { acct.balance += amt } }
+    let mut b = MethodBuilder::new("deposit", 2);
+    let v = b.fresh_local();
+    b.monitor_enter(0)
+        .get_field(v, 0, ACCOUNT, 0)
+        .binop(BinOp::Add, v, v, 1)
+        .put_field(0, ACCOUNT, 0, v)
+        .monitor_exit(0)
+        .ret(None);
+    p.add(b.finish());
+
+    // fn audit(book, n) — sum all balances in one synchronized scan.
+    let mut b = MethodBuilder::new("audit", 2);
+    let (book, n) = (0, 1);
+    let i = b.fresh_local();
+    let acct = b.fresh_local();
+    let v = b.fresh_local();
+    let sum = b.fresh_local();
+    let one = b.fresh_local();
+    let head = b.new_block();
+    let body = b.new_block();
+    let done = b.new_block();
+    let after = b.new_block();
+    b.monitor_enter(0)
+        .constant(i, 0)
+        .constant(sum, 0)
+        .constant(one, 1)
+        .jump(head);
+    b.switch_to(head).branch(i, Cmp::Lt, n, body, done);
+    b.switch_to(body)
+        .array_load(acct, book, BOOK, i)
+        .get_field(v, acct, ACCOUNT, 0)
+        .binop(BinOp::Add, sum, sum, v)
+        .binop(BinOp::Add, i, i, one)
+        .jump(head);
+    b.switch_to(done).monitor_exit(0).jump(after);
+    b.switch_to(after).ret(Some(sum));
+    p.add(b.finish());
+
+    p
+}
+
+fn main() {
+    let p = build_program();
+
+    println!("== JIT classification ==");
+    for mid in 0..p.methods.len() as u32 {
+        for r in classify_method(&p, mid) {
+            let name = &p.method(mid).name;
+            println!(
+                "  {name:<8} region on lock {} @ {} -> {:?}",
+                r.region.lock, r.region.enter, r.class
+            );
+            for v in &r.violations {
+                println!("      violation at {}: {:?} (cold={})", v.point, v.reason, v.cold);
+            }
+            match name.as_str() {
+                "balance" | "audit" => assert_eq!(r.class, RegionClass::ReadOnly),
+                "deposit" => assert_eq!(r.class, RegionClass::Writing),
+                _ => {}
+            }
+        }
+    }
+
+    // Set up the bank on the shadow heap.
+    const ACCOUNTS: u32 = 64;
+    let heap = Arc::new(Heap::new(1 << 16));
+    let book = heap.alloc(BOOK, ACCOUNTS).expect("alloc book");
+    for i in 0..ACCOUNTS {
+        let a = heap.alloc(ACCOUNT, 2).expect("alloc account");
+        heap.store_i64(a, 0, 100).expect("init");
+        heap.store(book, i, a.raw() as u64).expect("link");
+    }
+
+    let lock = Arc::new(SoleroLock::new());
+    let interp = Arc::new(
+        Interpreter::new(p, Arc::clone(&heap), vec![RuntimeLock::Solero(Arc::clone(&lock))])
+            .expect("verified program"),
+    );
+    let (balance, deposit, audit) = (
+        interp.program().find("balance").unwrap(),
+        interp.program().find("deposit").unwrap(),
+        interp.program().find("audit").unwrap(),
+    );
+
+    println!("\n== concurrent execution ==");
+    std::thread::scope(|s| {
+        // Depositors (writers).
+        for t in 0..2 {
+            let (interp, heap) = (Arc::clone(&interp), Arc::clone(&heap));
+            s.spawn(move || {
+                for i in 0..2_000u32 {
+                    let idx = (i * 7 + t) % ACCOUNTS;
+                    let acct = heap.load(book, BOOK, idx).unwrap();
+                    interp.run(deposit, &[acct as i64, 1]).unwrap();
+                }
+            });
+        }
+        // Auditors and balance readers (elided).
+        for _ in 0..3 {
+            let (interp, heap) = (Arc::clone(&interp), Arc::clone(&heap));
+            s.spawn(move || {
+                for i in 0..2_000u32 {
+                    if i % 10 == 0 {
+                        let total = interp
+                            .run(audit, &[book.raw() as i64, ACCOUNTS as i64])
+                            .unwrap()
+                            .unwrap();
+                        assert!(total >= 100 * ACCOUNTS as i64);
+                    } else {
+                        let acct = heap.load(book, BOOK, i % ACCOUNTS).unwrap();
+                        interp.run(balance, &[acct as i64]).unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    let final_total = interp
+        .run(audit, &[book.raw() as i64, ACCOUNTS as i64])
+        .unwrap()
+        .unwrap();
+    println!("  final audited total: {final_total} (expected {})", 100 * ACCOUNTS + 2 * 2_000);
+    assert_eq!(final_total, 100 * ACCOUNTS as i64 + 2 * 2_000);
+
+    let st = lock.stats().snapshot();
+    println!("  lock statistics: {st}");
+    assert!(st.elision_success > 0, "readers must have elided");
+    println!("\nread-only regions elided automatically; deposits took the lock.");
+}

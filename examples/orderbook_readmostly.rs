@@ -1,0 +1,103 @@
+//! A price-lookup service with rare corrections — the §5 read-mostly
+//! extension end to end.
+//!
+//! Run with: `cargo run --release --example orderbook_readmostly`
+//!
+//! An order book (shadow-heap `JTreeMap`) serves best-bid lookups at
+//! high rate; occasionally a lookup detects a crossed book and repairs
+//! it in place. A plain read-only section could not perform the repair;
+//! a writing section would put a CAS on the hot path of every lookup.
+//! The read-mostly section elides on the common path and upgrades only
+//! when the repair triggers (Figure 17).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use solero::{Fault, SoleroLock, WriteIntent};
+use solero_collections::JTreeMap;
+use solero_heap::Heap;
+
+const LEVELS: i64 = 512;
+
+fn main() -> Result<(), Fault> {
+    let heap = Arc::new(Heap::new(1 << 20));
+    let book = JTreeMap::new(&heap)?;
+    // price level -> quantity; odd quantities mark "stale" levels that
+    // lookups repair.
+    for p in 0..LEVELS {
+        book.put(&heap, p, 100 + (p % 2))?;
+    }
+    let lock = Arc::new(SoleroLock::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let lookups = Arc::new(AtomicU64::new(0));
+    let repairs = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // Lookup threads: read-mostly sections.
+        for t in 0..3 {
+            let (heap, lock, stop, lookups, repairs) = (
+                Arc::clone(&heap),
+                Arc::clone(&lock),
+                Arc::clone(&stop),
+                Arc::clone(&lookups),
+                Arc::clone(&repairs),
+            );
+            let book = book;
+            s.spawn(move || {
+                let mut p = t as i64;
+                while !stop.load(Ordering::Relaxed) {
+                    p = (p * 31 + 7) & (LEVELS - 1);
+                    let repaired = lock
+                        .read_mostly(|session| {
+                            let qty = book.get(&heap, p, session)?.unwrap_or(0);
+                            if qty & 1 == 1 {
+                                // Stale level: repair in place. The
+                                // upgrade CAS validates every read so far.
+                                session.ensure_write()?;
+                                book.put(&heap, p, qty + 1)?;
+                                return Ok(true);
+                            }
+                            Ok(false)
+                        })
+                        .expect("no genuine faults");
+                    lookups.fetch_add(1, Ordering::Relaxed);
+                    if repaired {
+                        repairs.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // A market-data thread occasionally re-staling levels (writer).
+        {
+            let (heap, lock, stop) = (Arc::clone(&heap), Arc::clone(&lock), Arc::clone(&stop));
+            let book = book;
+            s.spawn(move || {
+                let mut p = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    p = (p + 13) & (LEVELS - 1);
+                    lock.write(|| {
+                        book.put(&heap, p, 101).expect("feed");
+                    });
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let st = lock.stats().snapshot();
+    println!("lookups  : {}", lookups.load(Ordering::Relaxed));
+    println!("repairs  : {}", repairs.load(Ordering::Relaxed));
+    println!("stats    : {st}");
+    println!("upgrades : {} (each one took the lock mid-section)", st.mostly_upgrades);
+    println!(
+        "elided   : {} ({:.1}% of read-mostly sections never touched the lock word)",
+        st.elision_success,
+        100.0 * st.elision_success as f64 / (st.elision_success + st.mostly_upgrades).max(1) as f64
+    );
+    assert!(st.mostly_upgrades > 0);
+    assert!(st.elision_success > 0);
+    Ok(())
+}

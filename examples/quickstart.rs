@@ -1,0 +1,79 @@
+//! Quickstart: the SOLERO lock in five minutes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! Shows the three section kinds — writing, read-only (elided), and
+//! read-mostly (elided with in-place upgrade) — plus the statistics the
+//! lock keeps about itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use solero::{Fault, SoleroLock, WriteIntent};
+
+fn main() -> Result<(), Fault> {
+    let lock = Arc::new(SoleroLock::new());
+    // The protected data. In the full system data lives in the shadow
+    // heap (see the `concurrent_cache` example); plain atomics are
+    // enough to demonstrate the lock itself.
+    let balance = Arc::new(AtomicU64::new(1_000));
+    let audit_count = Arc::new(AtomicU64::new(0));
+
+    // 1. Writing critical section: acquires the lock (one CAS in, one
+    //    store out) and advances the sequence counter.
+    lock.write(|| {
+        let b = balance.load(Ordering::Relaxed);
+        balance.store(b + 500, Ordering::Release);
+    });
+    println!("after deposit, word = {}", lock.raw_word());
+
+    // 2. Read-only critical section: no lock-word write at all. The
+    //    closure may run speculatively (and more than once), so it
+    //    returns Result and confines effects to its return value.
+    let seen = lock.read_only(|_session| Ok(balance.load(Ordering::Acquire)))?;
+    println!("read-only section saw balance = {seen}");
+
+    // 3. Read-mostly section (§5 extension): elided like a read, but
+    //    may upgrade in place before writing.
+    lock.read_mostly(|session| {
+        let b = balance.load(Ordering::Acquire);
+        if b > 1_200 {
+            // Rare path: record an audit entry. Upgrading validates all
+            // reads so far and takes the lock.
+            session.ensure_write()?;
+            audit_count.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    })?;
+
+    // 4. Concurrent readers elide in parallel; a writer invalidates
+    //    them and they recover automatically.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (lock, balance) = (Arc::clone(&lock), Arc::clone(&balance));
+            s.spawn(move || {
+                for _ in 0..50_000 {
+                    lock.read_only(|_| Ok::<_, Fault>(balance.load(Ordering::Acquire)))
+                        .unwrap();
+                }
+            });
+        }
+        let (lock, balance) = (Arc::clone(&lock), Arc::clone(&balance));
+        s.spawn(move || {
+            for _ in 0..1_000 {
+                lock.write(|| {
+                    balance.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+
+    let stats = lock.stats().snapshot();
+    println!("\nlock statistics: {stats}");
+    println!(
+        "elision success rate: {:.2}%  (failures are retried/fallen back automatically)",
+        100.0 * (1.0 - stats.failure_ratio())
+    );
+    println!("audits recorded: {}", audit_count.load(Ordering::Relaxed));
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! Bi-modality × elision: the paper's requirement that SOLERO "supports
+//! the bidirectional switching of the lock mode the same as the
+//! conventional lock implementation, though it can elide locks only in
+//! the thin mode", and that the displaced counter makes inflate/deflate
+//! cycles visible to speculative readers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use solero::{Fault, SoleroConfig, SoleroLock};
+use solero_runtime::spin::SpinConfig;
+use solero_runtime::thread::ThreadId;
+
+fn contended_lock() -> Arc<SoleroLock> {
+    Arc::new(SoleroLock::with_config(SoleroConfig {
+        spin: SpinConfig::immediate(), // escalate to the monitor fast
+        ..SoleroConfig::default()
+    }))
+}
+
+/// Readers arriving while the lock is fat take the monitor (no
+/// elision), and resume eliding after deflation.
+#[test]
+fn readers_work_across_inflation_and_deflation() {
+    let lock = contended_lock();
+    let data = Arc::new(AtomicU64::new(7));
+
+    // Inflate by holding the lock while a contender arrives.
+    let tid = ThreadId::current();
+    let t = lock.enter_write(tid);
+    let l2 = Arc::clone(&lock);
+    let contender = std::thread::spawn(move || {
+        l2.write(|| {});
+    });
+    std::thread::sleep(Duration::from_millis(30));
+
+    // A reader while the lock is held+contended must go the slow route
+    // and still return correct data once the lock is free.
+    let l3 = Arc::clone(&lock);
+    let d3 = Arc::clone(&data);
+    let reader = std::thread::spawn(move || {
+        l3.read_only(|_| Ok::<_, Fault>(d3.load(Ordering::Acquire)))
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(10));
+    data.store(8, Ordering::Release);
+    lock.exit_write(tid, t);
+    contender.join().unwrap();
+    assert_eq!(reader.join().unwrap(), 8);
+
+    // Once quiescent, a write/read cycle deflates and elides again.
+    lock.write(|| {});
+    assert!(!lock.is_inflated(), "deflated when uncontended");
+    let before = lock.stats().snapshot().elision_success;
+    lock.read_only(|_| Ok::<_, Fault>(())).unwrap();
+    assert_eq!(lock.stats().snapshot().elision_success, before + 1);
+}
+
+/// The displaced counter: a speculative reader that captured the word
+/// before an inflate/deflate cycle must fail validation afterwards —
+/// deflation never republishes a value a reader may hold.
+#[test]
+fn inflate_deflate_cycle_changes_the_word() {
+    let lock = contended_lock();
+    let captured = lock.raw_word();
+    assert!(captured.is_elidable());
+
+    // Drive one full inflate/deflate cycle with real contention.
+    let tid = ThreadId::current();
+    let t = lock.enter_write(tid);
+    let l2 = Arc::clone(&lock);
+    let h = std::thread::spawn(move || {
+        l2.write(|| {});
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    lock.exit_write(tid, t);
+    h.join().unwrap();
+    lock.write(|| {}); // final uncontended cycle forces deflation
+
+    let after = lock.raw_word();
+    assert!(after.is_elidable(), "thin again: {after}");
+    assert_ne!(
+        after, captured,
+        "displaced counter must make the cycle visible to readers"
+    );
+    assert!(
+        after.counter().unwrap() > captured.counter().unwrap(),
+        "counter monotone across modes"
+    );
+}
+
+/// Heavy mixed traffic cycling thin↔fat never breaks reader coherence.
+#[test]
+fn mode_cycling_stress() {
+    let lock = contended_lock();
+    let a = Arc::new(AtomicU64::new(0));
+    let b = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let (lock, a, b, stop) = (
+                Arc::clone(&lock),
+                Arc::clone(&a),
+                Arc::clone(&b),
+                Arc::clone(&stop),
+            );
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    lock.write(|| {
+                        let v = a.load(Ordering::Relaxed) + 1;
+                        a.store(v, Ordering::Release);
+                        b.store(v, Ordering::Release);
+                    });
+                }
+            });
+        }
+        for _ in 0..3 {
+            let (lock, a, b) = (Arc::clone(&lock), Arc::clone(&a), Arc::clone(&b));
+            s.spawn(move || {
+                for _ in 0..10_000 {
+                    let (x, y) = lock
+                        .read_only(|_| {
+                            Ok::<_, Fault>((a.load(Ordering::Acquire), b.load(Ordering::Acquire)))
+                        })
+                        .unwrap();
+                    assert_eq!(x, y, "torn pair under mode cycling");
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let st = lock.stats().snapshot();
+    assert!(st.write_enters > 0 && st.read_enters == 30_000, "{st}");
+}

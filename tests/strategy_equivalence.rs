@@ -1,0 +1,89 @@
+//! Cross-crate property: the three lock strategies are observationally
+//! equivalent — the same operation sequence leaves the same map state
+//! and returns the same values, whatever the lock implementation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use solero::{
+    Checkpoint, LockStrategy, NullCheckpoint, RwLockStrategy, SoleroStrategy, SyncStrategy,
+};
+use solero_collections::{JHashMap, JTreeMap};
+use solero_heap::Heap;
+
+fn drive<S: SyncStrategy>(strat: &S, seed: u64) -> (Vec<(i64, i64)>, Vec<Option<i64>>) {
+    let heap = Heap::new(1 << 20);
+    let hash = JHashMap::new(&heap, 16).unwrap();
+    let tree = JTreeMap::new(&heap).unwrap();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut observed = Vec::new();
+    for _ in 0..3_000 {
+        let k = rng.gen_range(-64i64..64);
+        match rng.gen_range(0..6) {
+            0 => strat.write_section(|| {
+                hash.put(&heap, k, k * 5).unwrap();
+            }),
+            1 => strat.write_section(|| {
+                tree.put(&heap, k, k * 9).unwrap();
+            }),
+            2 => strat.write_section(|| {
+                hash.remove(&heap, k).unwrap();
+            }),
+            3 => strat.write_section(|| {
+                tree.remove(&heap, k).unwrap();
+            }),
+            4 => observed.push(
+                strat
+                    .read_section(|ck| hash.get(&heap, k, ck as &mut dyn Checkpoint))
+                    .unwrap(),
+            ),
+            _ => observed.push(
+                strat
+                    .read_section(|ck| tree.get(&heap, k, ck as &mut dyn Checkpoint))
+                    .unwrap(),
+            ),
+        }
+    }
+    let mut entries = hash.entries(&heap, &mut NullCheckpoint).unwrap();
+    entries.sort_unstable();
+    entries.extend(tree.entries(&heap, &mut NullCheckpoint).unwrap());
+    (entries, observed)
+}
+
+#[test]
+fn same_sequence_same_state_across_strategies() {
+    for seed in [1u64, 42, 0xdead] {
+        let a = drive(&LockStrategy::new(), seed);
+        let b = drive(&RwLockStrategy::new(), seed);
+        let c = drive(&SoleroStrategy::new(), seed);
+        let d = drive(&SoleroStrategy::unelided(), seed);
+        assert_eq!(a, b, "Lock vs RWLock diverged (seed {seed})");
+        assert_eq!(a, c, "Lock vs SOLERO diverged (seed {seed})");
+        assert_eq!(a, d, "Lock vs Unelided-SOLERO diverged (seed {seed})");
+    }
+}
+
+#[test]
+fn table1_read_ratio_identical_across_strategies() {
+    fn ratio<S: SyncStrategy>(s: &S) -> f64 {
+        let heap = Heap::new(1 << 16);
+        let map = JHashMap::new(&heap, 16).unwrap();
+        map.put(&heap, 1, 1).unwrap();
+        for i in 0..200 {
+            if i % 20 == 0 {
+                s.write_section(|| {
+                    map.put(&heap, i, i).unwrap();
+                });
+            } else {
+                s.read_section(|ck| map.get(&heap, 1, ck as &mut dyn Checkpoint))
+                    .unwrap();
+            }
+        }
+        s.snapshot().read_only_ratio()
+    }
+    let a = ratio(&LockStrategy::new());
+    let b = ratio(&RwLockStrategy::new());
+    let c = ratio(&SoleroStrategy::new());
+    assert!((a - 0.95).abs() < 1e-9);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+}
