@@ -3,7 +3,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use solero_testkit::bench::Criterion;
+use solero_testkit::{criterion_group, criterion_main};
 use solero::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
 
 fn bench_strategy<S: SyncStrategy>(c: &mut Criterion, name: &str, s: S) {

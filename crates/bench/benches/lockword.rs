@@ -3,7 +3,8 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use solero_testkit::bench::{black_box, Criterion};
+use solero_testkit::{criterion_group, criterion_main};
 use solero::{Fault, SoleroLock};
 use solero_runtime::thread::ThreadId;
 use solero_runtime::word::{ConvWord, SoleroWord};

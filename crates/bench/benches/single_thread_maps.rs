@@ -3,9 +3,9 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use solero_testkit::bench::Criterion;
+use solero_testkit::{criterion_group, criterion_main};
+use solero_testkit::rng::TestRng;
 use solero::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
 use solero_workloads::maps::{MapBench, MapConfig, MapKind};
 
@@ -17,7 +17,7 @@ fn bench_map<S: SyncStrategy>(
     make: impl Fn() -> S,
 ) {
     let bench = MapBench::new(MapConfig::paper(kind, writes, 1), make);
-    let mut rng = SmallRng::seed_from_u64(42);
+    let mut rng = TestRng::seed_from_u64(42);
     c.bench_function(label, |b| b.iter(|| bench.op(0, &mut rng)));
 }
 

@@ -14,7 +14,7 @@
 //! * Figure 15 — speculative-failure ratios;
 //! * Figure 16 — DaCapo profiles, Lock vs SOLERO.
 
-use rand::rngs::SmallRng;
+use solero_testkit::rng::TestRng;
 use solero::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
 use solero_workloads::dacapo::{DacapoBench, DACAPO_PROFILES};
 use solero_workloads::driver::{measure, Measurement, RunConfig};
@@ -59,7 +59,7 @@ fn measure_map<S: SyncStrategy>(
     make: impl Fn() -> S,
 ) -> Measurement {
     let b = MapBench::new(map_cfg, make);
-    measure(cfg, |t, rng: &mut SmallRng| b.op(t, rng), || b.snapshot())
+    measure(cfg, |t, rng: &mut TestRng| b.op(t, rng), || b.snapshot())
 }
 
 fn measure_jbb<S: SyncStrategy>(cfg: &RunConfig, make: impl Fn() -> S) -> Measurement {

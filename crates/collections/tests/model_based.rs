@@ -3,10 +3,10 @@
 //! sequences, and the red-black invariants must hold after every
 //! mutation.
 
-use proptest::prelude::*;
 use solero::NullCheckpoint;
 use solero_collections::{JHashMap, JTreeMap};
 use solero_heap::Heap;
+use solero_testkit::{forall, TestRng};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,21 +15,20 @@ enum Op {
     Get(i64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // A small key space maximizes collisions and structural churn.
-    let key = -32i64..32;
-    prop_oneof![
-        (key.clone(), any::<i64>()).prop_map(|(k, v)| Op::Put(k, v)),
-        key.clone().prop_map(Op::Remove),
-        key.prop_map(Op::Get),
-    ]
+// A small key space maximizes collisions and structural churn.
+fn gen_op(rng: &mut TestRng) -> Op {
+    let key = |rng: &mut TestRng| rng.gen_range(-32i64..32);
+    match rng.gen_range(0u32..3) {
+        0 => Op::Put(key(rng), rng.gen::<i64>()),
+        1 => Op::Remove(key(rng)),
+        _ => Op::Get(key(rng)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn hashmap_matches_std_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+#[test]
+fn hashmap_matches_std_model() {
+    forall(256, 0x4A54, |g| {
+        let ops = g.vec(1, 400, gen_op);
         let heap = Heap::new(1 << 20);
         let map = JHashMap::new(&heap, 4).unwrap();
         let mut model = std::collections::HashMap::new();
@@ -37,28 +36,29 @@ proptest! {
         for op in ops {
             match op {
                 Op::Put(k, v) => {
-                    prop_assert_eq!(map.put(&heap, k, v).unwrap(), model.insert(k, v));
+                    assert_eq!(map.put(&heap, k, v).unwrap(), model.insert(k, v));
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(map.remove(&heap, k).unwrap(), model.remove(&k));
+                    assert_eq!(map.remove(&heap, k).unwrap(), model.remove(&k));
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(map.get(&heap, k, &mut ck).unwrap(), model.get(&k).copied());
+                    assert_eq!(map.get(&heap, k, &mut ck).unwrap(), model.get(&k).copied());
                 }
             }
-            prop_assert_eq!(map.len(&heap).unwrap(), model.len());
+            assert_eq!(map.len(&heap).unwrap(), model.len());
         }
         let mut got = map.entries(&heap, &mut ck).unwrap();
         got.sort_unstable();
         let mut want: Vec<_> = model.into_iter().collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn treemap_matches_std_model_and_invariants(
-        ops in proptest::collection::vec(op_strategy(), 1..400)
-    ) {
+#[test]
+fn treemap_matches_std_model_and_invariants() {
+    forall(256, 0x74EE, |g| {
+        let ops = g.vec(1, 400, gen_op);
         let heap = Heap::new(1 << 20);
         let map = JTreeMap::new(&heap).unwrap();
         let mut model = std::collections::BTreeMap::new();
@@ -66,27 +66,30 @@ proptest! {
         for op in ops {
             match op {
                 Op::Put(k, v) => {
-                    prop_assert_eq!(map.put(&heap, k, v).unwrap(), model.insert(k, v));
+                    assert_eq!(map.put(&heap, k, v).unwrap(), model.insert(k, v));
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(map.remove(&heap, k).unwrap(), model.remove(&k));
+                    assert_eq!(map.remove(&heap, k).unwrap(), model.remove(&k));
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(map.get(&heap, k, &mut ck).unwrap(), model.get(&k).copied());
+                    assert_eq!(map.get(&heap, k, &mut ck).unwrap(), model.get(&k).copied());
                 }
             }
             map.check_invariants(&heap).unwrap();
         }
         let got = map.entries(&heap, &mut ck).unwrap();
         let want: Vec<_> = model.into_iter().collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn treemap_floor_matches_model(
-        keys in proptest::collection::btree_set(-100i64..100, 0..50),
-        probes in proptest::collection::vec(-110i64..110, 1..40)
-    ) {
+#[test]
+fn treemap_floor_matches_model() {
+    forall(256, 0xF100,  |g| {
+        let n_keys = g.size(1, 51) - 1;
+        let keys: std::collections::BTreeSet<i64> =
+            (0..n_keys).map(|_| g.gen_range(-100i64..100)).collect();
+        let probes = g.vec(1, 40, |rng| rng.gen_range(-110i64..110));
         let heap = Heap::new(1 << 18);
         let map = JTreeMap::new(&heap).unwrap();
         let mut ck = NullCheckpoint;
@@ -95,9 +98,9 @@ proptest! {
         }
         for p in probes {
             let want = keys.range(..=p).next_back().copied();
-            prop_assert_eq!(map.floor_key(&heap, p, &mut ck).unwrap(), want);
+            assert_eq!(map.floor_key(&heap, p, &mut ck).unwrap(), want);
         }
-    }
+    });
 }
 
 /// Concurrency: speculative SOLERO readers racing a writer must only

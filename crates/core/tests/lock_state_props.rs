@@ -11,9 +11,9 @@
 //!   section or upgrade;
 //! * statistics add up.
 
-use proptest::prelude::*;
 use solero::{Checkpoint, SoleroLock, WriteIntent, WriteTicket};
 use solero_runtime::thread::ThreadId;
+use solero_testkit::{forall, TestRng};
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -24,21 +24,20 @@ enum Op {
     MostlyWrite,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::EnterWrite),
-        Just(Op::ExitWrite),
-        Just(Op::ReadOnly),
-        Just(Op::MostlyRead),
-        Just(Op::MostlyWrite),
-    ]
+fn gen_op(rng: &mut TestRng) -> Op {
+    match rng.gen_range(0u32..5) {
+        0 => Op::EnterWrite,
+        1 => Op::ExitWrite,
+        2 => Op::ReadOnly,
+        3 => Op::MostlyRead,
+        _ => Op::MostlyWrite,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn single_thread_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn single_thread_model() {
+    forall(256, 0x10C6_57A7E, |g| {
+        let ops = g.vec(1, 60, gen_op);
         let lock = SoleroLock::new();
         let tid = ThreadId::current();
         let mut tickets: Vec<WriteTicket> = Vec::new();
@@ -51,7 +50,7 @@ proptest! {
             match op {
                 Op::EnterWrite => {
                     tickets.push(lock.enter_write(tid));
-                    prop_assert!(lock.held_by_current());
+                    assert!(lock.held_by_current());
                 }
                 Op::ExitWrite => {
                     if let Some(t) = tickets.pop() {
@@ -72,14 +71,16 @@ proptest! {
                         );
                         s.checkpoint()?;
                         Ok(())
-                    }).unwrap();
+                    })
+                    .unwrap();
                 }
                 Op::MostlyRead => {
                     reads += 1;
                     lock.read_mostly(|s| {
                         s.checkpoint()?;
                         Ok(())
-                    }).unwrap();
+                    })
+                    .unwrap();
                 }
                 Op::MostlyWrite => {
                     reads += 1;
@@ -88,7 +89,8 @@ proptest! {
                         s.ensure_write()?;
                         assert!(!s.is_speculative());
                         Ok(())
-                    }).unwrap();
+                    })
+                    .unwrap();
                     if was_free {
                         // An upgraded section releases like a writer.
                         completed_writes += 1;
@@ -96,10 +98,10 @@ proptest! {
                 }
             }
             // Depth bookkeeping must match the lock's view.
-            prop_assert_eq!(lock.held_by_current(), !tickets.is_empty());
+            assert_eq!(lock.held_by_current(), !tickets.is_empty());
             // Whenever the counter is visible it is monotone.
             if let Some(c) = lock.raw_word().counter() {
-                prop_assert!(c >= last_counter, "counter went backwards");
+                assert!(c >= last_counter, "counter went backwards");
                 last_counter = c;
             }
         }
@@ -110,23 +112,27 @@ proptest! {
                 completed_writes += 1;
             }
         }
-        prop_assert!(!lock.is_locked());
+        assert!(!lock.is_locked());
         let final_counter = lock.raw_word().counter().unwrap();
-        prop_assert!(
+        assert!(
             final_counter >= completed_writes,
             "counter {final_counter} < completed writing sections {completed_writes}"
         );
 
         let st = lock.stats().snapshot();
-        prop_assert_eq!(st.read_enters, reads);
+        assert_eq!(st.read_enters, reads);
         // Single-threaded: nothing can invalidate a speculative read.
-        prop_assert_eq!(st.elision_failure, 0);
-        prop_assert_eq!(st.fallback_acquires, 0);
-        prop_assert_eq!(st.speculative_faults, 0);
-    }
+        assert_eq!(st.elision_failure, 0);
+        assert_eq!(st.fallback_acquires, 0);
+        assert_eq!(st.speculative_faults, 0);
+    });
+}
 
-    #[test]
-    fn deep_recursion_is_transparent(depth in 1usize..100, reads_between in 0usize..4) {
+#[test]
+fn deep_recursion_is_transparent() {
+    forall(64, 0xDEE9, |g| {
+        let depth = g.size(1, 100);
+        let reads_between = g.gen_range(0usize..4);
         // Any nesting depth (including past the 5 recursion bits, which
         // forces inflation) behaves like a counter.
         let lock = SoleroLock::new();
@@ -134,24 +140,25 @@ proptest! {
         let mut tickets = Vec::new();
         for d in 0..depth {
             tickets.push(lock.enter_write(tid));
-            prop_assert!(lock.held_by_current());
+            assert!(lock.held_by_current());
             for _ in 0..reads_between {
                 // Nested reads run under the lock, at any depth.
                 lock.read_only(|s| {
                     assert!(!s.is_speculative());
                     Ok(())
-                }).unwrap();
+                })
+                .unwrap();
             }
             let _ = d;
         }
         for t in tickets.into_iter().rev() {
-            prop_assert!(lock.held_by_current());
+            assert!(lock.held_by_current());
             lock.exit_write(tid, t);
         }
-        prop_assert!(!lock.is_locked());
+        assert!(!lock.is_locked());
         // After quiescing, elision works regardless of what happened.
         lock.write(|| {});
         lock.read_only(|_| Ok(())).unwrap();
-        prop_assert!(lock.stats().snapshot().elision_success >= 1);
-    }
+        assert!(lock.stats().snapshot().elision_success >= 1);
+    });
 }

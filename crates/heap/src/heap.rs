@@ -14,9 +14,16 @@
 //! an exception in the paper's JVM.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use parking_lot::Mutex;
 use solero_runtime::fault::Fault;
+
+/// Poison-tolerant lock on the free-list map: it only caches recyclable
+/// regions, so state observed across a panicking allocator thread is
+/// still a valid free list.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 use crate::object::{ClassId, Header, ObjRef};
 
@@ -142,7 +149,7 @@ impl Heap {
     pub fn alloc(&self, class: ClassId, len: u32) -> Result<ObjRef, OutOfMemory> {
         assert_ne!(class, ClassId::FREED, "cannot allocate the freed class");
         // Try the free list first.
-        let recycled = self.free.lock().get_mut(&len).and_then(Vec::pop);
+        let recycled = plock(&self.free).get_mut(&len).and_then(Vec::pop);
         let off = match recycled {
             Some(off) => off as usize,
             None => {
@@ -190,7 +197,7 @@ impl Heap {
             Header::new(ClassId::FREED, h.len(), h.generation()).0,
             Ordering::Release,
         );
-        self.free.lock().entry(h.len()).or_default().push(r.0);
+        plock(&self.free).entry(h.len()).or_default().push(r.0);
         self.frees.fetch_add(1, Ordering::Relaxed);
     }
 

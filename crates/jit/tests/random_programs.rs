@@ -8,7 +8,6 @@
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use solero::SoleroLock;
 use solero_heap::{ClassId, Heap};
 use solero_jit::analysis::{classify_method, RegionClass};
@@ -17,6 +16,7 @@ use solero_jit::interp::{Interpreter, RuntimeLock};
 use solero_jit::ir::{BinOp, Cmp, Program};
 use solero_jit::verify::verify_program;
 use solero_tasuki::TasukiLock;
+use solero_testkit::{forall, Gen, TestRng};
 
 /// Object layout used by generated programs: 4 data fields.
 const OBJ: ClassId = ClassId::new(7);
@@ -40,23 +40,30 @@ enum OpSpec {
 
 const SCRATCH: u8 = 4;
 
-fn op_strategy(allow_writes: bool) -> BoxedStrategy<OpSpec> {
-    let base = prop_oneof![
-        (0..SCRATCH, -100i64..100).prop_map(|(d, v)| OpSpec::Const(d, v)),
-        (0..SCRATCH, 0..SCRATCH, 0..SCRATCH, 0u8..3)
-            .prop_map(|(d, a, b, o)| OpSpec::Arith(d, a, b, o)),
-        (0..SCRATCH, 0..FIELDS as u8).prop_map(|(d, f)| OpSpec::Read(d, f)),
-        (0..SCRATCH, 0..FIELDS as u8, 1u8..6).prop_map(|(d, f, n)| OpSpec::LoopRead(d, f, n)),
-    ];
-    if allow_writes {
-        prop_oneof![
-            base,
-            (0..FIELDS as u8, 0..SCRATCH).prop_map(|(f, s)| OpSpec::Write(f, s)),
-        ]
-        .boxed()
-    } else {
-        base.boxed()
+fn gen_op(rng: &mut TestRng, allow_writes: bool) -> OpSpec {
+    let kinds = if allow_writes { 5u32 } else { 4 };
+    match rng.gen_range(0..kinds) {
+        0 => OpSpec::Const(rng.gen_range(0..SCRATCH), rng.gen_range(-100i64..100)),
+        1 => OpSpec::Arith(
+            rng.gen_range(0..SCRATCH),
+            rng.gen_range(0..SCRATCH),
+            rng.gen_range(0..SCRATCH),
+            rng.gen_range(0u8..3),
+        ),
+        2 => OpSpec::Read(rng.gen_range(0..SCRATCH), rng.gen_range(0..FIELDS as u8)),
+        3 => OpSpec::LoopRead(
+            rng.gen_range(0..SCRATCH),
+            rng.gen_range(0..FIELDS as u8),
+            rng.gen_range(1u8..6),
+        ),
+        _ => OpSpec::Write(rng.gen_range(0..FIELDS as u8), rng.gen_range(0..SCRATCH)),
     }
+}
+
+/// `n ∈ [0, hi)` generated ops, `n` shrink-scaled through [`Gen::size`].
+fn gen_ops(g: &mut Gen, hi: usize, allow_writes: bool) -> Vec<OpSpec> {
+    let n = g.size(0, hi);
+    (0..n).map(|_| gen_op(g.rng(), allow_writes)).collect()
 }
 
 /// Builds `fn main(obj) { synchronized(l0) { ops } return mix(scratch) }`.
@@ -143,55 +150,55 @@ fn run_under(
     (r, finals)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn generated_programs_verify(
-        ops in proptest::collection::vec(op_strategy(true), 0..12)
-    ) {
+#[test]
+fn generated_programs_verify() {
+    forall(128, 0x11E1_01, |g| {
+        let ops = gen_ops(g, 12, true);
         let (p, _) = build_program(&ops);
-        prop_assert_eq!(verify_program(&p), Ok(()));
-    }
+        assert_eq!(verify_program(&p), Ok(()));
+    });
+}
 
-    #[test]
-    fn classifier_matches_reference_predicate(
-        ops in proptest::collection::vec(op_strategy(true), 0..12)
-    ) {
+#[test]
+fn classifier_matches_reference_predicate() {
+    forall(128, 0x11E1_02, |g| {
+        let ops = gen_ops(g, 12, true);
         let (p, has_write) = build_program(&ops);
         let classes = classify_method(&p, 0);
-        prop_assert_eq!(classes.len(), 1);
+        assert_eq!(classes.len(), 1);
         // No cold marks ⇒ the only possible classes are ReadOnly and
         // Writing, decided exactly by the presence of a heap write.
         let expected = if has_write { RegionClass::Writing } else { RegionClass::ReadOnly };
-        prop_assert_eq!(classes[0].class, expected);
-    }
+        assert_eq!(classes[0].class, expected);
+    });
+}
 
-    #[test]
-    fn solero_and_tasuki_execute_identically(
-        ops in proptest::collection::vec(op_strategy(true), 0..12),
-        init in proptest::collection::vec(-50i64..50, 4),
-    ) {
+#[test]
+fn solero_and_tasuki_execute_identically() {
+    forall(128, 0x11E1_03, |g| {
+        let ops = gen_ops(g, 12, true);
+        let init: Vec<i64> = (0..4).map(|_| g.gen_range(-50i64..50)).collect();
         let (p, has_write) = build_program(&ops);
         let solero_lock = Arc::new(SoleroLock::new());
         let got_solero = run_under(&p, RuntimeLock::Solero(Arc::clone(&solero_lock)), &init);
         let got_tasuki = run_under(&p, RuntimeLock::Tasuki(Arc::new(TasukiLock::new())), &init);
-        prop_assert_eq!(&got_solero, &got_tasuki, "lock choice changed the semantics");
+        assert_eq!(&got_solero, &got_tasuki, "lock choice changed the semantics");
         // Read-only programs must actually elide under SOLERO.
         if !has_write {
-            prop_assert_eq!(solero_lock.stats().snapshot().elision_success, 1);
+            assert_eq!(solero_lock.stats().snapshot().elision_success, 1);
         } else {
-            prop_assert_eq!(solero_lock.stats().snapshot().write_enters, 1);
+            assert_eq!(solero_lock.stats().snapshot().write_enters, 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn elided_programs_elide_on_every_repetition(
-        ops in proptest::collection::vec(op_strategy(false), 0..10),
-        reps in 1usize..20,
-    ) {
+#[test]
+fn elided_programs_elide_on_every_repetition() {
+    forall(128, 0x11E1_04, |g| {
+        let ops = gen_ops(g, 10, false);
+        let reps = g.size(1, 20);
         let (p, has_write) = build_program(&ops);
-        prop_assert!(!has_write);
+        assert!(!has_write);
         let heap = Arc::new(Heap::new(1 << 10));
         let obj = heap.alloc(OBJ, FIELDS).unwrap();
         let lock = Arc::new(SoleroLock::new());
@@ -203,11 +210,11 @@ proptest! {
         let first = interp.run_with_fuel(0, &[obj.raw() as i64], 1_000_000).unwrap();
         for _ in 1..reps {
             let again = interp.run_with_fuel(0, &[obj.raw() as i64], 1_000_000).unwrap();
-            prop_assert_eq!(again, first, "read-only program must be deterministic");
+            assert_eq!(again, first, "read-only program must be deterministic");
         }
         let st = lock.stats().snapshot();
-        prop_assert_eq!(st.elision_success, reps as u64);
-        prop_assert_eq!(st.elision_failure, 0);
-        prop_assert_eq!(st.write_enters, 0);
-    }
+        assert_eq!(st.elision_success, reps as u64);
+        assert_eq!(st.elision_failure, 0);
+        assert_eq!(st.write_enters, 0);
+    });
 }

@@ -15,11 +15,21 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::thread::ThreadId;
+
+/// Poison-tolerant lock: a panic inside a monitor operation is already
+/// a lock-implementation bug (the asserts below); subsequent operations
+/// should still see consistent counters rather than cascade poison
+/// panics through unrelated threads.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn pwait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
 
 #[derive(Debug, Default)]
 struct MonitorInner {
@@ -86,14 +96,14 @@ impl OsMonitor {
     /// Blocks until the calling thread owns the monitor. Reentrant.
     pub fn enter(&self, tid: ThreadId) {
         let raw = tid.as_u64();
-        let mut g = self.inner.lock();
+        let mut g = plock(&self.inner);
         if g.owner == raw {
             g.recursion += 1;
             return;
         }
         g.queued += 1;
         while g.owner != 0 {
-            self.entry.wait(&mut g);
+            g = pwait(&self.entry, g);
         }
         g.queued -= 1;
         g.owner = raw;
@@ -102,7 +112,7 @@ impl OsMonitor {
     /// Attempts to own the monitor without blocking.
     pub fn try_enter(&self, tid: ThreadId) -> bool {
         let raw = tid.as_u64();
-        let mut g = self.inner.lock();
+        let mut g = plock(&self.inner);
         if g.owner == raw {
             g.recursion += 1;
             true
@@ -121,7 +131,7 @@ impl OsMonitor {
     /// Panics if the calling thread does not own the monitor — that is a
     /// lock-implementation bug, not a recoverable condition.
     pub fn exit(&self, tid: ThreadId) {
-        let mut g = self.inner.lock();
+        let mut g = plock(&self.inner);
         assert_eq!(g.owner, tid.as_u64(), "monitor exit by non-owner");
         if g.recursion > 0 {
             g.recursion -= 1;
@@ -140,18 +150,20 @@ impl OsMonitor {
     /// Panics if the calling thread does not own the monitor.
     pub fn wait(&self, tid: ThreadId) {
         let raw = tid.as_u64();
-        let mut g = self.inner.lock();
+        let mut g = plock(&self.inner);
         assert_eq!(g.owner, raw, "monitor wait by non-owner");
         let saved = g.recursion;
         g.owner = 0;
         g.recursion = 0;
         g.waiting += 1;
         self.entry.notify_one();
-        self.waitset.wait(&mut g);
+        // One park, Java semantics: spurious wakeups are permitted, so
+        // callers loop on their condition around `wait`.
+        g = pwait(&self.waitset, g);
         g.waiting -= 1;
         g.queued += 1;
         while g.owner != 0 {
-            self.entry.wait(&mut g);
+            g = pwait(&self.entry, g);
         }
         g.queued -= 1;
         g.owner = raw;
@@ -172,18 +184,25 @@ impl OsMonitor {
     /// Panics if the calling thread does not own the monitor.
     pub fn wait_timeout(&self, tid: ThreadId, timeout: std::time::Duration) -> bool {
         let raw = tid.as_u64();
-        let mut g = self.inner.lock();
+        let mut g = plock(&self.inner);
         assert_eq!(g.owner, raw, "monitor wait by non-owner");
         let saved = g.recursion;
         g.owner = 0;
         g.recursion = 0;
         g.waiting += 1;
         self.entry.notify_one();
-        let notified = !self.waitset.wait_for(&mut g, timeout).timed_out();
+        let (g2, res) = self
+            .waitset
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        g = g2;
+        // As in Java, a spurious wakeup is indistinguishable from a
+        // notification here; only a timeout is reported as `false`.
+        let notified = !res.timed_out();
         g.waiting -= 1;
         g.queued += 1;
         while g.owner != 0 {
-            self.entry.wait(&mut g);
+            g = pwait(&self.entry, g);
         }
         g.queued -= 1;
         g.owner = raw;
@@ -195,7 +214,7 @@ impl OsMonitor {
     /// does not own the monitor. The lock deflation policy checks
     /// `depth == 1` before publishing a thin word on the final exit.
     pub fn depth(&self, tid: ThreadId) -> u32 {
-        let g = self.inner.lock();
+        let g = plock(&self.inner);
         if g.owner == tid.as_u64() {
             g.recursion + 1
         } else {
@@ -215,18 +234,18 @@ impl OsMonitor {
 
     /// True if some thread currently owns the monitor.
     pub fn is_owned(&self) -> bool {
-        self.inner.lock().owner != 0
+        plock(&self.inner).owner != 0
     }
 
     /// True if the calling thread owns the monitor.
     pub fn owned_by(&self, tid: ThreadId) -> bool {
-        self.inner.lock().owner == tid.as_u64()
+        plock(&self.inner).owner == tid.as_u64()
     }
 
     /// True if threads are blocked trying to enter — the deflation
     /// heuristic keeps the lock fat while there is queued contention.
     pub fn has_queued(&self) -> bool {
-        self.inner.lock().queued > 0
+        plock(&self.inner).queued > 0
     }
 
     /// True if threads are parked in the wait set. Deflation must be
@@ -234,12 +253,12 @@ impl OsMonitor {
     /// monitor after a deflation would believe it holds a lock whose
     /// word says otherwise.
     pub fn has_waiters(&self) -> bool {
-        self.inner.lock().waiting > 0
+        plock(&self.inner).waiting > 0
     }
 
     /// Combined deflation guard: entry queue and wait set both empty.
     pub fn idle_for_deflation(&self) -> bool {
-        let g = self.inner.lock();
+        let g = plock(&self.inner);
         g.queued == 0 && g.waiting == 0
     }
 
@@ -308,7 +327,7 @@ impl MonitorTable {
 
     /// Returns the monitor for `key`, creating one on first use.
     pub fn monitor_for(&self, key: usize) -> Arc<OsMonitor> {
-        let mut g = self.shard(key).lock();
+        let mut g = plock(self.shard(key));
         if let Some(m) = g.get(&key) {
             return Arc::clone(m);
         }
@@ -321,12 +340,12 @@ impl MonitorTable {
     /// Drops the association for `key`. Called when a lock is destroyed
     /// so a future lock at the same address starts fresh.
     pub fn remove(&self, key: usize) {
-        self.shard(key).lock().remove(&key);
+        plock(self.shard(key)).remove(&key);
     }
 
     /// Number of live associations (for tests and diagnostics).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| plock(s).len()).sum()
     }
 
     /// True if the table holds no associations.

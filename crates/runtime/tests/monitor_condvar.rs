@@ -1,0 +1,207 @@
+//! `wait`/`notify_one`/`notify_all` coverage for the inflated monitor
+//! after its migration from parking-lot primitives to `std::sync`
+//! (satellite of the hermetic-testkit issue).
+//!
+//! The monitor implements Java semantics: `wait` releases **all**
+//! recursion levels atomically, parks, and restores the exact depth on
+//! return; spurious wakeups are permitted, so all coordination below
+//! loops on an explicit predicate — exactly what `Object.wait` requires
+//! of its callers.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use solero_runtime::osmonitor::OsMonitor;
+use solero_runtime::thread::ThreadId;
+
+fn spawn_waiter(
+    mon: &Arc<OsMonitor>,
+    flag: &Arc<AtomicBool>,
+    woken: &Arc<AtomicU32>,
+) -> std::thread::JoinHandle<()> {
+    let (mon, flag, woken) = (Arc::clone(mon), Arc::clone(flag), Arc::clone(woken));
+    std::thread::spawn(move || {
+        let tid = ThreadId::current();
+        mon.enter(tid);
+        // Java's mandated idiom: predicate loop around wait, which is
+        // what makes spurious wakeups (and notifies that raced the
+        // predicate) harmless.
+        while !flag.load(Ordering::Acquire) {
+            mon.wait(tid);
+        }
+        woken.fetch_add(1, Ordering::AcqRel);
+        mon.exit(tid);
+    })
+}
+
+/// Polls until `cond` holds, failing the test after a bound.
+fn eventually(cond: impl Fn() -> bool, what: &str) {
+    for _ in 0..2_000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+#[test]
+fn notify_one_wakes_a_single_waiter() {
+    let mon = Arc::new(OsMonitor::new(1));
+    let flag = Arc::new(AtomicBool::new(false));
+    let woken = Arc::new(AtomicU32::new(0));
+    let handles: Vec<_> = (0..3).map(|_| spawn_waiter(&mon, &flag, &woken)).collect();
+    eventually(|| mon.has_waiters(), "all waiters parked");
+
+    let tid = ThreadId::current();
+    // A notify_one with the predicate still false must NOT let any
+    // waiter complete: its loop re-checks and goes back to waiting.
+    mon.enter(tid);
+    mon.notify_one();
+    mon.exit(tid);
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(
+        woken.load(Ordering::Acquire),
+        0,
+        "a wakeup without the predicate is spurious and must be absorbed"
+    );
+    eventually(|| mon.has_waiters(), "the notified waiter re-parked");
+
+    // Now flip the predicate and release the waiters one notify at a
+    // time; each notify_one frees at most one thread.
+    flag.store(true, Ordering::Release);
+    for _ in 0..3 {
+        mon.enter(tid);
+        mon.notify_one();
+        mon.exit(tid);
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(woken.load(Ordering::Acquire), 3);
+    assert!(!mon.has_waiters());
+    assert!(!mon.is_owned());
+}
+
+#[test]
+fn notify_all_wakes_every_waiter_at_once() {
+    let mon = Arc::new(OsMonitor::new(2));
+    let flag = Arc::new(AtomicBool::new(false));
+    let woken = Arc::new(AtomicU32::new(0));
+    let handles: Vec<_> = (0..4).map(|_| spawn_waiter(&mon, &flag, &woken)).collect();
+    eventually(|| mon.has_waiters(), "all waiters parked");
+
+    let tid = ThreadId::current();
+    mon.enter(tid);
+    flag.store(true, Ordering::Release);
+    mon.notify_all();
+    mon.exit(tid);
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(woken.load(Ordering::Acquire), 4);
+    assert!(mon.idle_for_deflation(), "fully drained monitor is deflatable");
+}
+
+#[test]
+fn wait_releases_all_recursion_levels_and_restores_them() {
+    let mon = Arc::new(OsMonitor::new(3));
+    let flag = Arc::new(AtomicBool::new(false));
+    let depth_seen = Arc::new(AtomicU32::new(0));
+
+    let h = {
+        let (mon, flag, depth_seen) =
+            (Arc::clone(&mon), Arc::clone(&flag), Arc::clone(&depth_seen));
+        std::thread::spawn(move || {
+            let tid = ThreadId::current();
+            // Enter to depth 3, then wait: the monitor must become
+            // available to others even though our depth was > 1.
+            mon.enter(tid);
+            mon.enter(tid);
+            mon.enter(tid);
+            assert_eq!(mon.depth(tid), 3);
+            while !flag.load(Ordering::Acquire) {
+                mon.wait(tid);
+            }
+            // Java: wait() restores the exact recursion depth.
+            depth_seen.store(mon.depth(tid), Ordering::Release);
+            mon.exit(tid);
+            mon.exit(tid);
+            mon.exit(tid);
+        })
+    };
+
+    eventually(|| mon.has_waiters(), "recursive owner parked in wait");
+    let tid = ThreadId::current();
+    // The monitor must be acquirable while the recursive owner waits.
+    assert!(mon.try_enter(tid), "wait must have released every level");
+    flag.store(true, Ordering::Release);
+    mon.notify_all();
+    mon.exit(tid);
+    h.join().unwrap();
+    assert_eq!(depth_seen.load(Ordering::Acquire), 3);
+}
+
+#[test]
+fn wait_timeout_reports_timeout_vs_notification() {
+    let mon = OsMonitor::new(4);
+    let tid = ThreadId::current();
+
+    // Nobody notifies: the timed wait must come back with `false`,
+    // still owning the monitor.
+    mon.enter(tid);
+    let notified = mon.wait_timeout(tid, Duration::from_millis(20));
+    assert!(!notified, "no notifier: must time out");
+    assert!(mon.owned_by(tid), "ownership restored after timeout");
+    mon.exit(tid);
+
+    // With a notifier the same call reports `true` (a spurious wakeup
+    // would too — Java cannot tell them apart — so only the timeout
+    // branch is asserted strictly).
+    let mon = Arc::new(OsMonitor::new(5));
+    let flag = Arc::new(AtomicBool::new(false));
+    let h = {
+        let (mon, flag) = (Arc::clone(&mon), Arc::clone(&flag));
+        std::thread::spawn(move || {
+            let tid = ThreadId::current();
+            mon.enter(tid);
+            let mut notified = false;
+            while !flag.load(Ordering::Acquire) {
+                notified = mon.wait_timeout(tid, Duration::from_secs(30));
+            }
+            mon.exit(tid);
+            assert!(notified, "flag was set before the deadline");
+        })
+    };
+    eventually(|| mon.has_waiters(), "timed waiter parked");
+    let tid = ThreadId::current();
+    mon.enter(tid);
+    flag.store(true, Ordering::Release);
+    mon.notify_all();
+    mon.exit(tid);
+    h.join().unwrap();
+}
+
+#[test]
+fn woken_waiters_requeue_as_entrants() {
+    // A notified waiter must contend for the monitor like a normal
+    // entrant (has_queued) rather than stealing it from the notifier.
+    let mon = Arc::new(OsMonitor::new(6));
+    let flag = Arc::new(AtomicBool::new(false));
+    let woken = Arc::new(AtomicU32::new(0));
+    let h = spawn_waiter(&mon, &flag, &woken);
+    eventually(|| mon.has_waiters(), "waiter parked");
+
+    let tid = ThreadId::current();
+    mon.enter(tid);
+    flag.store(true, Ordering::Release);
+    mon.notify_all();
+    // Still inside the section: the woken thread cannot have finished.
+    eventually(|| mon.has_queued(), "woken waiter moved to the entry queue");
+    assert_eq!(woken.load(Ordering::Acquire), 0);
+    mon.exit(tid);
+    h.join().unwrap();
+    assert_eq!(woken.load(Ordering::Acquire), 1);
+}

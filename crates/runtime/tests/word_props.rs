@@ -2,51 +2,58 @@
 //! can produce must decode back to itself, and the state predicates
 //! must be mutually exclusive in the ways the fast paths rely on.
 
-use proptest::prelude::*;
 use solero_runtime::thread::ThreadId;
 use solero_runtime::word::{
     ConvWord, SoleroWord, CONV_RECURSION_MAX, FIELD_MAX, SOLERO_RECURSION_MAX,
 };
+use solero_testkit::{forall, TestRng};
 
-fn tid_strategy() -> impl Strategy<Value = ThreadId> {
-    (1u64..=FIELD_MAX).prop_map(|r| ThreadId::from_raw(r).unwrap())
+fn gen_tid(rng: &mut TestRng) -> ThreadId {
+    ThreadId::from_raw(rng.gen_range(1u64..=FIELD_MAX)).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn conv_held_words_roundtrip(tid in tid_strategy(), rec in 0u64..=CONV_RECURSION_MAX) {
+#[test]
+fn conv_held_words_roundtrip() {
+    forall(256, 0xC0_4D_01, |g| {
+        let tid = gen_tid(g.rng());
+        let rec = g.gen_range(0u64..=CONV_RECURSION_MAX);
         let mut w = ConvWord::held_by(tid);
         for _ in 0..rec {
             w = w.recurse();
         }
-        prop_assert_eq!(w.tid(), Some(tid));
-        prop_assert_eq!(w.recursion(), rec);
-        prop_assert!(!w.is_inflated());
-        prop_assert!(w.is_held_flat());
+        assert_eq!(w.tid(), Some(tid));
+        assert_eq!(w.recursion(), rec);
+        assert!(!w.is_inflated());
+        assert!(w.is_held_flat());
         // Fast release requires recursion 0 and clear flags.
-        prop_assert_eq!(w.fast_releasable(), rec == 0);
+        assert_eq!(w.fast_releasable(), rec == 0);
         // FLC set/clear is an involution that preserves everything else.
-        prop_assert_eq!(w.with_flc().without_flc(), w);
-        prop_assert_eq!(w.with_flc().recursion(), rec);
-        prop_assert_eq!(w.with_flc().tid(), Some(tid));
-    }
+        assert_eq!(w.with_flc().without_flc(), w);
+        assert_eq!(w.with_flc().recursion(), rec);
+        assert_eq!(w.with_flc().tid(), Some(tid));
+    });
+}
 
-    #[test]
-    fn conv_inflated_words_decode(monitor in 1u64..=FIELD_MAX) {
+#[test]
+fn conv_inflated_words_decode() {
+    forall(256, 0xC0_4D_02, |g| {
+        let monitor = g.gen_range(1u64..=FIELD_MAX);
         let w = ConvWord::inflated(monitor);
-        prop_assert!(w.is_inflated());
-        prop_assert_eq!(w.monitor_id(), Some(monitor));
-        prop_assert_eq!(w.tid(), None);
-        prop_assert!(!w.fast_releasable());
-    }
+        assert!(w.is_inflated());
+        assert_eq!(w.monitor_id(), Some(monitor));
+        assert_eq!(w.tid(), None);
+        assert!(!w.fast_releasable());
+    });
+}
 
-    #[test]
-    fn solero_state_predicates_are_exclusive(
-        tid in tid_strategy(),
-        counter in 0u64..=FIELD_MAX,
-        monitor in 1u64..=FIELD_MAX,
-        rec in 0u64..=SOLERO_RECURSION_MAX,
-    ) {
+#[test]
+fn solero_state_predicates_are_exclusive() {
+    forall(256, 0xC0_4D_03, |g| {
+        let tid = gen_tid(g.rng());
+        let counter = g.gen_range(0u64..=FIELD_MAX);
+        let monitor = g.gen_range(1u64..=FIELD_MAX);
+        let rec = g.gen_range(0u64..=SOLERO_RECURSION_MAX);
+
         let free = SoleroWord::with_counter(counter);
         let mut held = SoleroWord::held_by(tid);
         for _ in 0..rec {
@@ -55,60 +62,67 @@ proptest! {
         let fat = SoleroWord::inflated(monitor);
 
         // Exactly one of the three states per word.
-        prop_assert!(free.is_elidable() && !free.is_held_flat() && !free.is_inflated());
-        prop_assert!(!held.is_elidable() && held.is_held_flat() && !held.is_inflated());
-        prop_assert!(!fat.is_elidable() && fat.is_inflated());
+        assert!(free.is_elidable() && !free.is_held_flat() && !free.is_inflated());
+        assert!(!held.is_elidable() && held.is_held_flat() && !held.is_inflated());
+        assert!(!fat.is_elidable() && fat.is_inflated());
 
         // Decoding.
-        prop_assert_eq!(free.counter(), Some(counter));
-        prop_assert_eq!(held.tid(), Some(tid));
-        prop_assert_eq!(held.recursion(), rec);
-        prop_assert_eq!(fat.monitor_id(), Some(monitor));
+        assert_eq!(free.counter(), Some(counter));
+        assert_eq!(held.tid(), Some(tid));
+        assert_eq!(held.recursion(), rec);
+        assert_eq!(fat.monitor_id(), Some(monitor));
 
         // Fast release iff held with recursion 0 and clear flags.
-        prop_assert_eq!(held.fast_releasable(), rec == 0);
-        prop_assert!(!free.fast_releasable());
-        prop_assert!(!fat.fast_releasable());
+        assert_eq!(held.fast_releasable(), rec == 0);
+        assert!(!free.fast_releasable());
+        assert!(!fat.fast_releasable());
 
         // Monitor escalation: only FLC/inflation demand it.
-        prop_assert!(!free.needs_monitor());
-        prop_assert!(!held.needs_monitor());
-        prop_assert!(fat.needs_monitor());
-        prop_assert!(held.with_flc().needs_monitor());
-    }
+        assert!(!free.needs_monitor());
+        assert!(!held.needs_monitor());
+        assert!(fat.needs_monitor());
+        assert!(held.with_flc().needs_monitor());
+    });
+}
 
-    #[test]
-    fn solero_release_always_changes_the_word(counter in 0u64..=FIELD_MAX) {
+#[test]
+fn solero_release_always_changes_the_word() {
+    forall(256, 0xC0_4D_04, |g| {
+        let counter = g.gen_range(0u64..=FIELD_MAX);
         // The elision protocol's core invariant: a write section's
         // release never republishes the pre-acquisition word.
         let v1 = SoleroWord::with_counter(counter);
         let released = v1.next_counter();
-        prop_assert_ne!(released, v1);
-        prop_assert!(released.is_elidable(), "released word is free again");
-    }
+        assert_ne!(released, v1);
+        assert!(released.is_elidable(), "released word is free again");
+    });
+}
 
-    #[test]
-    fn solero_counter_chain_never_repeats_within_field_range(
-        start in 0u64..=FIELD_MAX - 1000,
-        steps in 1usize..1000,
-    ) {
+#[test]
+fn solero_counter_chain_never_repeats_within_field_range() {
+    forall(64, 0xC0_4D_05, |g| {
+        let start = g.gen_range(0u64..=FIELD_MAX - 1000);
+        let steps = g.size(1, 1000);
         // Successive releases produce pairwise distinct counter words as
         // long as the 56-bit space does not wrap (the paper: > 68 years).
         let mut w = SoleroWord::with_counter(start);
         let first = w;
         for _ in 0..steps {
             let next = w.next_counter();
-            prop_assert_ne!(next, w);
-            prop_assert_ne!(next, first);
+            assert_ne!(next, w);
+            assert_ne!(next, first);
             w = next;
         }
-        prop_assert_eq!(w.counter(), Some(start + steps as u64));
-    }
+        assert_eq!(w.counter(), Some(start + steps as u64));
+    });
+}
 
-    #[test]
-    fn held_word_equals_figure6_encoding(tid in tid_strategy()) {
+#[test]
+fn held_word_equals_figure6_encoding() {
+    forall(256, 0xC0_4D_06, |g| {
+        let tid = gen_tid(g.rng());
         // Figure 6 line 4: val = thread_id + LOCK_BIT.
         let w = SoleroWord::held_by(tid);
-        prop_assert_eq!(w.raw(), tid.field_bits() + 0x4);
-    }
+        assert_eq!(w.raw(), tid.field_bits() + 0x4);
+    });
 }

@@ -25,10 +25,16 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
 use solero_runtime::stats::LockStats;
+
+/// Poison-tolerant lock for the park/wake mutex: the mutex only guards
+/// the condvar handshake (no data), so a poisoned guard is still valid.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Bit 63: a writer holds the lock.
 const WRITER: u64 = 1 << 63;
@@ -168,9 +174,12 @@ impl JavaRwLock {
                 continue;
             }
             // Writer active or queued: park briefly.
-            let mut g = s.sleep.lock();
+            let g = plock(&s.sleep);
             if s.word.load(Ordering::Acquire) & (WRITER | WRITER_PENDING) != 0 {
-                s.wake.wait_for(&mut g, PARK);
+                let _ = s
+                    .wake
+                    .wait_timeout(g, PARK)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
@@ -191,7 +200,7 @@ impl JavaRwLock {
         debug_assert!(prev & READERS > 0, "read_unlock without readers");
         // Last reader out while a writer waits: wake it.
         if prev & READERS == 1 && prev & WRITER_PENDING != 0 {
-            let _g = s.sleep.lock();
+            let _g = plock(&s.sleep);
             s.wake.notify_all();
         }
     }
@@ -221,10 +230,13 @@ impl JavaRwLock {
                 );
                 continue;
             }
-            let mut g = s.sleep.lock();
+            let g = plock(&s.sleep);
             let w = s.word.load(Ordering::Acquire);
             if w != 0 && w != WRITER_PENDING {
-                s.wake.wait_for(&mut g, PARK);
+                let _ = s
+                    .wake
+                    .wait_timeout(g, PARK)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
@@ -234,7 +246,7 @@ impl JavaRwLock {
         let s = &*self.state;
         let prev = s.word.swap(0, Ordering::AcqRel);
         debug_assert!(prev & WRITER != 0, "write_unlock without writer");
-        let _g = s.sleep.lock();
+        let _g = plock(&s.sleep);
         s.wake.notify_all();
     }
 }

@@ -1,0 +1,262 @@
+//! In-house micro-benchmark loop with a criterion-compatible surface.
+//!
+//! The workspace's bench targets were written against criterion's API
+//! (`Criterion`, `bench_function`, `Bencher::iter`, `black_box`,
+//! `criterion_group!`, `criterion_main!`). Pulling criterion from a
+//! registry is impossible in the hermetic build, so this module
+//! provides the same shape over a plain [`Instant`]-based timing loop:
+//! calibrate an iteration count, take `sample_size` samples, report
+//! min / median / mean ns per iteration.
+//!
+//! With the `criterion` cargo feature enabled (off by default) the loop
+//! runs in a higher-rigor statistical mode: more samples, a longer
+//! calibration floor, and a median-absolute-deviation column.
+//!
+//! # Examples
+//!
+//! ```
+//! use solero_testkit::bench::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default().sample_size(10);
+//! c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall time one sample should cover, so timer granularity is
+/// amortized over many iterations.
+#[cfg(not(feature = "criterion"))]
+const SAMPLE_FLOOR: Duration = Duration::from_micros(200);
+#[cfg(feature = "criterion")]
+const SAMPLE_FLOOR: Duration = Duration::from_millis(2);
+
+/// The benchmark driver. API-compatible with the subset of criterion
+/// the bench targets use.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            #[cfg(not(feature = "criterion"))]
+            sample_size: 20,
+            #[cfg(feature = "criterion")]
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least 2 samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up time before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its summary line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration: find an iteration count whose sample lasts at
+        // least SAMPLE_FLOOR (and roughly fits the time budget).
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= SAMPLE_FLOOR || iters >= 1 << 40 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        // Warm-up.
+        let warm_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_end {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+        }
+
+        // Samples, bounded by the measurement budget but never fewer
+        // than 2 so the spread is defined.
+        let budget_end = Instant::now() + self.measurement_time;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for i in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+            if i >= 1 && Instant::now() > budget_end {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let report = Summary::from_sorted(&samples, iters);
+        println!("{name:<40} {report}");
+        self
+    }
+}
+
+/// Timing context passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back invocations of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Aggregated result of one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Summary {
+    min: f64,
+    median: f64,
+    mean: f64,
+    mad: f64,
+    samples: usize,
+    iters: u64,
+}
+
+impl Summary {
+    fn from_sorted(sorted: &[f64], iters: u64) -> Summary {
+        let n = sorted.len();
+        assert!(n >= 1, "no samples");
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let mut dev: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mad = if n % 2 == 1 {
+            dev[n / 2]
+        } else {
+            (dev[n / 2 - 1] + dev[n / 2]) / 2.0
+        };
+        Summary {
+            min: sorted[0],
+            median,
+            mean,
+            mad,
+            samples: n,
+            iters,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median {:>10.1} ns/iter  (min {:.1}, mean {:.1}, ±{:.1} MAD, {} samples × {} iters)",
+            self.median, self.min, self.mean, self.mad, self.samples, self.iters
+        )
+    }
+}
+
+/// Criterion-compatible group declaration: expands to a function that
+/// builds the configured [`Criterion`] and runs every target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::bench::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::bench::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Criterion-compatible entry point: expands to `fn main` running every
+/// group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64).wrapping_add(1))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::from_sorted(&[1.0, 2.0, 3.0, 4.0, 100.0], 10);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.samples, 5);
+        assert!(s.mean > s.median, "outlier pulls the mean up");
+        assert_eq!(s.mad, 1.0);
+    }
+
+    #[test]
+    fn bencher_measures_elapsed() {
+        let mut b = Bencher {
+            iters: 1000,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(3u64) * 7);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+}

@@ -1,0 +1,281 @@
+//! A minimal property-test runner.
+//!
+//! [`forall`] drives a closure over `cases` independent generator
+//! streams derived from one root seed. A failing case:
+//!
+//! 1. is **shrunk by iteration scale** — the same case seed is re-run
+//!    with the [`Gen::size`] budget halved until the failure disappears,
+//!    so the reported reproduction is the smallest same-seed instance
+//!    that still fails;
+//! 2. **prints its reproducing seeds** — the root seed, the case index,
+//!    and the per-case seed — so `SOLERO_TESTKIT_SEED=<root>` replays
+//!    the identical run.
+//!
+//! Properties use plain `assert!`/`assert_eq!`; panics are caught per
+//! case. Two runs with the same root seed produce identical output.
+//!
+//! # Examples
+//!
+//! ```
+//! use solero_testkit::prop::forall;
+//!
+//! forall(64, 0x5EED, |g| {
+//!     let n = g.size(1, 40);
+//!     let mut v: Vec<i64> = (0..n).map(|_| g.rng().gen_range(-50i64..50)).collect();
+//!     v.sort_unstable();
+//!     for w in v.windows(2) {
+//!         assert!(w[0] <= w[1], "sort must order");
+//!     }
+//! });
+//! ```
+
+use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{derive_seed, TestRng};
+
+/// Environment variable overriding every [`forall`] root seed (and, by
+/// convention, the stress tests' root seeds via [`seed_override`]).
+pub const SEED_ENV: &str = "SOLERO_TESTKIT_SEED";
+/// Environment variable overriding every [`forall`] case count.
+pub const CASES_ENV: &str = "SOLERO_TESTKIT_CASES";
+
+/// Smallest shrink scale tried before giving up.
+const MIN_SCALE: f64 = 1.0 / 1024.0;
+
+/// Per-case context handed to the property closure: a seeded generator
+/// plus the shrink scale that bounds "how big" this case may get.
+#[derive(Debug)]
+pub struct Gen {
+    rng: TestRng,
+    scale: f64,
+}
+
+impl Gen {
+    /// The case's generator. (Also reachable through deref: `g.gen()`.)
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// The current shrink scale in `(0, 1]` — 1.0 on the first run of a
+    /// case, halved on each shrink attempt.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// A case size in `[lo, hi)`, scaled down while shrinking. Use this
+    /// for iteration counts and collection lengths so failing cases
+    /// automatically re-run smaller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn size(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "Gen::size on empty range {lo}..{hi}");
+        let scaled = ((hi as f64) * self.scale).ceil() as usize;
+        let eff_hi = scaled.clamp(lo + 1, hi);
+        self.rng.gen_range(lo..eff_hi)
+    }
+
+    /// A vector of `n ∈ [lo, hi)` (scaled) elements drawn by `f`.
+    pub fn vec<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut TestRng) -> T) -> Vec<T> {
+        let n = self.size(lo, hi);
+        (0..n).map(|_| f(&mut self.rng)).collect()
+    }
+}
+
+impl Deref for Gen {
+    type Target = TestRng;
+    fn deref(&self) -> &TestRng {
+        &self.rng
+    }
+}
+
+impl DerefMut for Gen {
+    fn deref_mut(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// Resolves the effective root seed: the [`SEED_ENV`] override if set
+/// (decimal or `0x`-prefixed hex), otherwise `default`.
+pub fn seed_override(default: u64) -> u64 {
+    match std::env::var(SEED_ENV) {
+        Ok(s) if s.trim().is_empty() => default,
+        Ok(s) => parse_u64(&s)
+            .unwrap_or_else(|| panic!("[testkit] {SEED_ENV}={s:?} is not a u64 (use decimal or 0x-hex)")),
+        Err(_) => default,
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn cases_override(default: u64) -> u64 {
+    match std::env::var(CASES_ENV) {
+        Ok(s) if s.trim().is_empty() => default,
+        Ok(s) => parse_u64(&s)
+            .unwrap_or_else(|| panic!("[testkit] {CASES_ENV}={s:?} is not a u64")),
+        Err(_) => default,
+    }
+}
+
+/// Runs `property` over `cases` independent cases derived from
+/// `root_seed`. See the module docs for the failure protocol.
+///
+/// # Panics
+///
+/// Panics (failing the test) on the first failing case, after shrinking,
+/// with a message containing the reproducing seeds.
+pub fn forall<F>(cases: u64, root_seed: u64, property: F)
+where
+    F: Fn(&mut Gen),
+{
+    let root = seed_override(root_seed);
+    let cases = cases_override(cases);
+    for case in 0..cases {
+        let case_seed = derive_seed(root, case);
+        let first = run_case(&property, case_seed, 1.0);
+        let Err(msg) = first else { continue };
+
+        // Iteration shrinking: same seed, smaller size budget.
+        let (mut best_scale, mut best_msg) = (1.0, msg);
+        let mut scale = 0.5;
+        while scale >= MIN_SCALE {
+            match run_case(&property, case_seed, scale) {
+                Err(m) => {
+                    best_scale = scale;
+                    best_msg = m;
+                    scale /= 2.0;
+                }
+                Ok(()) => break,
+            }
+        }
+        panic!(
+            "[testkit] property failed at case {case}/{cases}\n  \
+             root seed:  {root:#018x}  (replay: {SEED_ENV}={root:#x})\n  \
+             case seed:  {case_seed:#018x}\n  \
+             shrunk to scale {best_scale}\n  \
+             failure: {best_msg}"
+        );
+    }
+}
+
+fn run_case<F>(property: &F, case_seed: u64, scale: f64) -> Result<(), String>
+where
+    F: Fn(&mut Gen),
+{
+    let mut g = Gen {
+        rng: TestRng::seed_from_u64(case_seed),
+        scale,
+    };
+    catch_unwind(AssertUnwindSafe(|| property(&mut g))).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn passing_property_runs_every_case() {
+        let runs = AtomicU64::new(0);
+        forall(100, 0xABCD, |g| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            let v = g.gen_range(0..10u32);
+            assert!(v < 10);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn failing_property_reports_seeds() {
+        let err = panic::catch_unwind(|| {
+            forall(50, 0x1234, |g| {
+                let n = g.size(1, 64);
+                assert!(n < 3, "too big: {n}");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("root seed"), "{msg}");
+        assert!(msg.contains("case seed"), "{msg}");
+        assert!(msg.contains("SOLERO_TESTKIT_SEED=0x1234"), "{msg}");
+        assert!(msg.contains("too big"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_reduces_reported_size() {
+        // Fails whenever the size budget allows n >= 8; shrinking must
+        // walk the scale down until only small sizes are drawn.
+        let err = panic::catch_unwind(|| {
+            forall(20, 77, |g| {
+                let n = g.size(1, 1024);
+                assert!(n < 8, "n={n}");
+            });
+        })
+        .expect_err("must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(
+            msg.contains("shrunk to scale") && !msg.contains("shrunk to scale 1\n"),
+            "expected a reduced scale in: {msg}"
+        );
+    }
+
+    #[test]
+    fn same_root_seed_same_failure_output() {
+        let capture = || {
+            panic::catch_unwind(|| {
+                forall(30, 0xFEED, |g| {
+                    let x = g.gen_range(0..1000u32);
+                    assert!(x < 400, "x={x}");
+                });
+            })
+            .expect_err("must fail")
+            .downcast_ref::<String>()
+            .expect("string panic")
+            .clone()
+        };
+        assert_eq!(capture(), capture(), "failure output must be deterministic");
+    }
+
+    #[test]
+    fn size_respects_bounds_at_every_scale() {
+        for &scale in &[1.0, 0.5, 0.01, MIN_SCALE] {
+            let mut g = Gen {
+                rng: TestRng::seed_from_u64(1),
+                scale,
+            };
+            for _ in 0..200 {
+                let n = g.size(1, 60);
+                assert!((1..60).contains(&n), "scale {scale}: n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn vec_helper_sizes_and_fills() {
+        let mut g = Gen {
+            rng: TestRng::seed_from_u64(4),
+            scale: 1.0,
+        };
+        let v = g.vec(5, 6, |rng| rng.gen_range(0..3u8));
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|&x| x < 3));
+    }
+}

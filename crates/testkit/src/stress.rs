@@ -1,0 +1,293 @@
+//! Deterministic concurrency stress harness.
+//!
+//! [`stress`] spawns `threads` **named** worker threads
+//! (`"<name>-w<id>"`), runs `rounds` barrier-phased rounds — every
+//! worker enters a round together, so contention patterns repeat
+//! instead of drifting apart — and gives each worker a [`TestRng`]
+//! derived from one root seed, so the *inputs* of a stress run are
+//! fully reproducible even though the interleavings are not.
+//!
+//! A **watchdog** bounds wall-clock time: if the workers are not done
+//! within [`StressConfig::timeout`], it prints the harness state (name,
+//! root seed, unfinished workers) to stderr and aborts the process —
+//! a deadlocked lock protocol must fail the run, not hang CI.
+//!
+//! A panicking worker does not deadlock the barrier: the failure is
+//! recorded, the remaining rounds become no-ops, and the harness
+//! re-raises every captured failure with worker/round/seed context.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use solero_testkit::stress::{stress, StressConfig};
+//!
+//! let hits = AtomicU64::new(0);
+//! stress("example", &StressConfig::new(4, 3, 0x5EED), |w| {
+//!     // Each worker sees its own deterministic generator.
+//!     let _k = w.rng.gen_range(0..100u32);
+//!     hits.fetch_add(1, Ordering::Relaxed);
+//! });
+//! assert_eq!(hits.load(Ordering::Relaxed), 4 * 3);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::rng::TestRng;
+
+/// Parameters of one stress run.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Barrier-phased rounds; the body runs once per worker per round.
+    pub rounds: usize,
+    /// Root seed; worker `i` draws from stream `i` of this root.
+    pub root_seed: u64,
+    /// Watchdog bound on the whole run (default 60 s).
+    pub timeout: Duration,
+}
+
+impl StressConfig {
+    /// A config with the default 60-second watchdog.
+    pub fn new(threads: usize, rounds: usize, root_seed: u64) -> Self {
+        StressConfig {
+            threads,
+            rounds,
+            root_seed,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Replaces the watchdog bound.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// Per-worker context passed to the stress body.
+#[derive(Debug)]
+pub struct Worker {
+    /// This worker's index in `0..threads`.
+    pub id: usize,
+    /// Total worker count.
+    pub threads: usize,
+    /// The current round in `0..rounds`.
+    pub round: usize,
+    /// Deterministic per-worker generator (stream `id` of the root
+    /// seed); state persists across rounds.
+    pub rng: TestRng,
+}
+
+/// The root seeds of a fixed-size reproduction matrix: `n` decorrelated
+/// seeds derived from `root`, suitable for "run the same stress under
+/// several seeds" test loops.
+pub fn seed_matrix(root: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| crate::rng::derive_seed(root, i)).collect()
+}
+
+/// Runs `body` from `cfg.threads` named workers for `cfg.rounds`
+/// barrier-phased rounds. See the module docs.
+///
+/// # Panics
+///
+/// Panics with every captured worker failure (worker id, round, root
+/// seed) if any worker's body panicked. Aborts the process if the run
+/// exceeds `cfg.timeout`.
+pub fn stress<F>(name: &str, cfg: &StressConfig, body: F)
+where
+    F: Fn(&mut Worker) + Sync,
+{
+    assert!(cfg.threads > 0, "stress needs at least one worker");
+    let barrier = Barrier::new(cfg.threads);
+    let failed = AtomicBool::new(false);
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    // Watchdog bookkeeping: how many workers are still running.
+    let remaining = Mutex::new(cfg.threads);
+    let all_done = Condvar::new();
+
+    std::thread::scope(|s| {
+        for id in 0..cfg.threads {
+            let (barrier, failed, failures) = (&barrier, &failed, &failures);
+            let (remaining, all_done, body) = (&remaining, &all_done, &body);
+            std::thread::Builder::new()
+                .name(format!("{name}-w{id}"))
+                .spawn_scoped(s, move || {
+                    let mut w = Worker {
+                        id,
+                        threads: cfg.threads,
+                        round: 0,
+                        rng: TestRng::derive(cfg.root_seed, id as u64),
+                    };
+                    for round in 0..cfg.rounds {
+                        barrier.wait();
+                        // After a failure the surviving workers keep
+                        // meeting the barrier (so nobody deadlocks) but
+                        // stop doing work.
+                        if failed.load(Ordering::Acquire) {
+                            continue;
+                        }
+                        w.round = round;
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&mut w))) {
+                            failed.store(true, Ordering::Release);
+                            failures
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(format!(
+                                    "worker {id} round {round}: {}",
+                                    payload_message(&payload)
+                                ));
+                        }
+                    }
+                    let mut left = remaining.lock().unwrap_or_else(|e| e.into_inner());
+                    *left -= 1;
+                    if *left == 0 {
+                        all_done.notify_all();
+                    }
+                })
+                .expect("spawn stress worker");
+        }
+
+        // Watchdog: runs inside the scope so a healthy run joins it too.
+        let (remaining, all_done) = (&remaining, &all_done);
+        std::thread::Builder::new()
+            .name(format!("{name}-watchdog"))
+            .spawn_scoped(s, move || {
+                let deadline = Instant::now() + cfg.timeout;
+                let mut left = remaining.lock().unwrap_or_else(|e| e.into_inner());
+                while *left > 0 {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        eprintln!(
+                            "[testkit] stress '{name}' watchdog: {left} of {threads} workers \
+                             still running after {timeout:?} (root seed {seed:#018x}); aborting",
+                            threads = cfg.threads,
+                            timeout = cfg.timeout,
+                            seed = cfg.root_seed,
+                        );
+                        std::process::abort();
+                    }
+                    let (g, _) = all_done
+                        .wait_timeout(left, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    left = g;
+                }
+            })
+            .expect("spawn stress watchdog");
+    });
+
+    let failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+    if !failures.is_empty() {
+        panic!(
+            "[testkit] stress '{name}' failed (root seed {seed:#018x}, replay with \
+             {env}={seed:#x}):\n  {list}",
+            seed = cfg.root_seed,
+            env = crate::prop::SEED_ENV,
+            list = failures.join("\n  ")
+        );
+    }
+}
+
+fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::panic;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_worker_runs_every_round() {
+        let count = AtomicUsize::new(0);
+        stress("count", &StressConfig::new(8, 5, 1), |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn worker_rngs_are_deterministic_and_distinct() {
+        let draws: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+        let run = |out: &Mutex<Vec<(usize, u64)>>| {
+            stress("seeds", &StressConfig::new(4, 1, 0xBEEF), |w| {
+                let v = w.rng.next_u64();
+                out.lock().unwrap().push((w.id, v));
+            });
+        };
+        run(&draws);
+        let mut first: Vec<_> = std::mem::take(&mut *draws.lock().unwrap());
+        run(&draws);
+        let mut second: Vec<_> = std::mem::take(&mut *draws.lock().unwrap());
+        first.sort_unstable();
+        second.sort_unstable();
+        assert_eq!(first, second, "same root seed, same per-worker draws");
+        let distinct: HashSet<u64> = first.iter().map(|&(_, v)| v).collect();
+        assert_eq!(distinct.len(), 4, "worker streams must differ");
+    }
+
+    #[test]
+    fn rounds_are_barrier_phased() {
+        // If rounds were not phased, a fast worker could observe the
+        // round counter ahead of a slow one. With a barrier, after all
+        // workers pass round r's barrier nobody can still be in r-1.
+        let max_seen = AtomicUsize::new(0);
+        stress("phase", &StressConfig::new(4, 10, 3), |w| {
+            let prev = max_seen.swap(w.round, Ordering::SeqCst);
+            assert!(
+                prev + 1 >= w.round,
+                "round skew: saw {prev} then {}",
+                w.round
+            );
+        });
+    }
+
+    #[test]
+    fn worker_panic_is_reported_not_deadlocked() {
+        let err = panic::catch_unwind(|| {
+            stress(
+                "failing",
+                &StressConfig::new(4, 6, 9).with_timeout(Duration::from_secs(20)),
+                |w| {
+                    if w.id == 2 && w.round == 1 {
+                        panic!("injected failure");
+                    }
+                },
+            );
+        })
+        .expect_err("must propagate the worker panic");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("worker 2 round 1"), "{msg}");
+        assert!(msg.contains("injected failure"), "{msg}");
+        assert!(msg.contains("root seed"), "{msg}");
+    }
+
+    #[test]
+    fn workers_are_named() {
+        stress("named", &StressConfig::new(2, 1, 5), |w| {
+            let name = std::thread::current().name().map(str::to_owned);
+            assert_eq!(name.as_deref(), Some(format!("named-w{}", w.id).as_str()));
+        });
+    }
+
+    #[test]
+    fn seed_matrix_is_stable_and_distinct() {
+        let a = seed_matrix(42, 5);
+        let b = seed_matrix(42, 5);
+        assert_eq!(a, b);
+        let set: HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(set.len(), 5);
+    }
+}

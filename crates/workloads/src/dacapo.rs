@@ -13,8 +13,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use solero_testkit::rng::TestRng;
 use solero::{Checkpoint, SyncStrategy};
 use solero_collections::JHashMap;
 use solero_heap::Heap;
@@ -92,7 +91,7 @@ impl<S: SyncStrategy> DacapoBench<S> {
 
     /// One application step from thread `t`: some non-synchronized work
     /// followed by one synchronized block.
-    pub fn op(&self, t: usize, rng: &mut SmallRng) {
+    pub fn op(&self, t: usize, rng: &mut TestRng) {
         // Application work outside any lock.
         let mut x = rng.gen::<u64>() | 1;
         for _ in 0..self.profile.work_grain {
@@ -143,14 +142,13 @@ impl<S: SyncStrategy> DacapoBench<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use solero::{LockStrategy, SoleroStrategy};
 
     #[test]
     fn profiles_match_table1_ratios() {
         for p in DACAPO_PROFILES {
             let b = DacapoBench::new(p, 1, SoleroStrategy::new);
-            let mut rng = SmallRng::seed_from_u64(5);
+            let mut rng = TestRng::seed_from_u64(5);
             for _ in 0..20_000 {
                 b.op(0, &mut rng);
             }
@@ -167,7 +165,7 @@ mod tests {
     #[test]
     fn runs_on_conventional_lock() {
         let b = DacapoBench::new(DACAPO_PROFILES[1], 2, LockStrategy::new);
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = TestRng::seed_from_u64(9);
         for i in 0..1_000 {
             b.op(i % 2, &mut rng);
         }

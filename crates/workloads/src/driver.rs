@@ -10,9 +10,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use crossbeam::utils::CachePadded;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use solero_testkit::pad::CachePadded;
+use solero_testkit::rng::TestRng;
 use solero_runtime::stats::StatsSnapshot;
 
 /// Measurement protocol parameters.
@@ -84,7 +83,7 @@ impl Measurement {
 /// ratios and read-only ratios to the measured windows).
 pub fn measure<F>(cfg: &RunConfig, op: F, stats: impl Fn() -> StatsSnapshot) -> Measurement
 where
-    F: Fn(usize, &mut SmallRng) + Sync,
+    F: Fn(usize, &mut TestRng) + Sync,
 {
     let mut best_sum = 0.0;
     let mut stats_acc = StatsSnapshot::default();
@@ -107,7 +106,7 @@ fn one_run<F>(
     seed_base: u64,
 ) -> (f64, StatsSnapshot)
 where
-    F: Fn(usize, &mut SmallRng) + Sync,
+    F: Fn(usize, &mut TestRng) + Sync,
 {
     let running = AtomicBool::new(true);
     let counters: Vec<CachePadded<AtomicU64>> = (0..cfg.threads)
@@ -120,7 +119,7 @@ where
             let running = &running;
             let counter = &counters[t];
             s.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(
+                let mut rng = TestRng::seed_from_u64(
                     0x9e37_79b9_7f4a_7c15u64
                         .wrapping_mul(t as u64 + 1)
                         .wrapping_add(seed_base),

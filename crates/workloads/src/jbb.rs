@@ -14,8 +14,7 @@
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use solero_testkit::rng::TestRng;
 use solero::{Checkpoint, SyncStrategy};
 use solero_collections::{JHashMap, JTreeMap};
 use solero_heap::Heap;
@@ -77,7 +76,7 @@ impl<S: SyncStrategy> JbbBench<S> {
 
     /// One SPECjbb-style transaction from thread `t` against its own
     /// warehouse.
-    pub fn op(&self, t: usize, rng: &mut SmallRng) {
+    pub fn op(&self, t: usize, rng: &mut TestRng) {
         let w = &self.warehouses[t % self.warehouses.len()];
         // SPECjbb2005 mix: NewOrder 30.3%, Payment 30.3%,
         // CustomerReport 30.3%, OrderStatus 3%, Delivery 3%,
@@ -94,7 +93,7 @@ impl<S: SyncStrategy> JbbBench<S> {
 
     /// NewOrder: price lookups (read-only) then order insertion and
     /// district update (writing).
-    fn new_order(&self, w: &Warehouse<S>, rng: &mut SmallRng) {
+    fn new_order(&self, w: &Warehouse<S>, rng: &mut TestRng) {
         let heap = &self.heap;
         let lines: Vec<i64> = (0..3).map(|_| rng.gen_range(0..ITEMS)).collect();
         let total: i64 = w
@@ -117,10 +116,10 @@ impl<S: SyncStrategy> JbbBench<S> {
     }
 
     /// Payment: customer balance read (read-only) then update (writing).
-    fn payment(&self, w: &Warehouse<S>, rng: &mut SmallRng) {
+    fn payment(&self, w: &Warehouse<S>, rng: &mut TestRng) {
         let heap = &self.heap;
         let c = rng.gen_range(0..CUSTOMERS);
-        let amount = rng.gen_range(1..50);
+        let amount = rng.gen_range(1..50i64);
         let balance = w
             .lock
             .read_section(|ck| w.customers.get(heap, c, ck as &mut dyn Checkpoint))
@@ -134,7 +133,7 @@ impl<S: SyncStrategy> JbbBench<S> {
     }
 
     /// CustomerReport: customer record plus recent orders (read-only).
-    fn customer_report(&self, w: &Warehouse<S>, rng: &mut SmallRng) {
+    fn customer_report(&self, w: &Warehouse<S>, rng: &mut TestRng) {
         let heap = &self.heap;
         let c = rng.gen_range(0..CUSTOMERS);
         let _ = w
@@ -150,7 +149,7 @@ impl<S: SyncStrategy> JbbBench<S> {
     }
 
     /// OrderStatus: look an order up (read-only).
-    fn order_status(&self, w: &Warehouse<S>, rng: &mut SmallRng) {
+    fn order_status(&self, w: &Warehouse<S>, rng: &mut TestRng) {
         let heap = &self.heap;
         let hi = w.next_order.load(Ordering::Relaxed).max(1);
         let id = rng.gen_range(0..hi);
@@ -180,7 +179,7 @@ impl<S: SyncStrategy> JbbBench<S> {
     }
 
     /// StockLevel: scan a handful of items (read-only).
-    fn stock_level(&self, w: &Warehouse<S>, rng: &mut SmallRng) {
+    fn stock_level(&self, w: &Warehouse<S>, rng: &mut TestRng) {
         let heap = &self.heap;
         let base = rng.gen_range(0..ITEMS - 5);
         let _ = w
@@ -221,13 +220,12 @@ impl<S: SyncStrategy> JbbBench<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use solero::{LockStrategy, SoleroStrategy};
 
     #[test]
     fn read_only_ratio_is_near_the_papers_table1() {
         let b = JbbBench::new(1, SoleroStrategy::new);
-        let mut rng = SmallRng::seed_from_u64(11);
+        let mut rng = TestRng::seed_from_u64(11);
         for _ in 0..20_000 {
             b.op(0, &mut rng);
         }
@@ -242,7 +240,7 @@ mod tests {
     #[test]
     fn jbb_runs_on_the_conventional_lock_too() {
         let b = JbbBench::new(2, LockStrategy::new);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = TestRng::seed_from_u64(3);
         for i in 0..2_000 {
             b.op(i % 2, &mut rng);
         }
@@ -256,7 +254,7 @@ mod tests {
             for t in 0..4 {
                 let b = &b;
                 s.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(t as u64 + 100);
+                    let mut rng = TestRng::seed_from_u64(t as u64 + 100);
                     for _ in 0..3_000 {
                         b.op(t, &mut rng);
                     }

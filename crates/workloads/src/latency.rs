@@ -9,8 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use solero_testkit::rng::TestRng;
 
 /// Number of log2 buckets (covers 1 ns .. ~77 h).
 const BUCKETS: usize = 48;
@@ -106,7 +105,7 @@ pub struct LatencyReport {
 /// timing every invocation.
 pub fn measure_latency<F>(threads: usize, samples_per_thread: u64, op: F) -> LatencyReport
 where
-    F: Fn(usize, &mut SmallRng) + Sync,
+    F: Fn(usize, &mut TestRng) + Sync,
 {
     let hist = LatencyHistogram::new();
     std::thread::scope(|s| {
@@ -114,7 +113,7 @@ where
             let hist = &hist;
             let op = &op;
             s.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(t as u64 + 1);
+                let mut rng = TestRng::seed_from_u64(t as u64 + 1);
                 let local = LatencyHistogram::new();
                 for _ in 0..samples_per_thread {
                     let t0 = Instant::now();

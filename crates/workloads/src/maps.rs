@@ -10,8 +10,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use solero_testkit::rng::TestRng;
 use solero::{Checkpoint, Fault, SyncStrategy};
 use solero_collections::{JHashMap, JTreeMap};
 use solero_heap::Heap;
@@ -127,14 +126,14 @@ impl<S: SyncStrategy> MapBench<S> {
 
     /// One benchmark operation from thread `t`.
     #[inline]
-    pub fn op(&self, _t: usize, rng: &mut SmallRng) {
+    pub fn op(&self, _t: usize, rng: &mut TestRng) {
         let shard = if self.shards.len() == 1 {
             &self.shards[0]
         } else {
             &self.shards[rng.gen_range(0..self.shards.len())]
         };
         let key = rng.gen_range(0..self.cfg.entries);
-        if self.cfg.write_pct > 0 && rng.gen_range(0..100) < self.cfg.write_pct {
+        if self.cfg.write_pct > 0 && rng.gen_range(0..100u32) < self.cfg.write_pct {
             // Writing critical section. Alternate update/remove+insert so
             // nodes churn (recycled handles are what speculative readers
             // trip over, as in a real JVM heap).
@@ -188,10 +187,10 @@ impl<S: SyncStrategy> MapBench<S> {
 impl<S: SyncStrategy> MapBench<S> {
     /// One operation routed entirely through `mostly_section`: reads
     /// stay speculative, the occasional write upgrades in place.
-    pub fn op_mostly(&self, rng: &mut SmallRng) {
+    pub fn op_mostly(&self, rng: &mut TestRng) {
         let shard = &self.shards[0];
         let key = rng.gen_range(0..self.cfg.entries);
-        let write = self.cfg.write_pct > 0 && rng.gen_range(0..100) < self.cfg.write_pct;
+        let write = self.cfg.write_pct > 0 && rng.gen_range(0..100u32) < self.cfg.write_pct;
         let v = rng.gen::<i64>() | 1;
         shard
             .strat
@@ -210,7 +209,6 @@ impl<S: SyncStrategy> MapBench<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use solero::{LockStrategy, RwLockStrategy, SoleroStrategy};
 
     fn smoke<S: SyncStrategy>(make: impl Fn() -> S, kind: MapKind, write_pct: u32) {
@@ -223,7 +221,7 @@ mod tests {
             },
             make,
         );
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = TestRng::seed_from_u64(1);
         for _ in 0..500 {
             b.op(0, &mut rng);
         }
@@ -255,7 +253,7 @@ mod tests {
     #[test]
     fn solero_read_only_config_elides_everything() {
         let b = MapBench::new(MapConfig::paper(MapKind::Hash, 0, 1), SoleroStrategy::new);
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = TestRng::seed_from_u64(7);
         for _ in 0..1000 {
             b.op(0, &mut rng);
         }
@@ -275,7 +273,7 @@ mod tests {
             },
             SoleroStrategy::new,
         );
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = TestRng::seed_from_u64(3);
         for _ in 0..200 {
             b.op_mostly(&mut rng);
         }
@@ -291,7 +289,7 @@ mod tests {
             for t in 0..4 {
                 let b = &b;
                 s.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(t as u64);
+                    let mut rng = TestRng::seed_from_u64(t as u64);
                     for _ in 0..5_000 {
                         b.op(t, &mut rng);
                     }

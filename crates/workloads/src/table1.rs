@@ -7,7 +7,7 @@
 //! of course depends on the host, so the paper's absolute POWER6
 //! numbers are matched in *ordering*, not magnitude).
 
-use rand::rngs::SmallRng;
+use solero_testkit::rng::TestRng;
 use solero::SoleroStrategy;
 
 use crate::dacapo::{DacapoBench, DACAPO_PROFILES};
@@ -49,7 +49,7 @@ pub fn collect(cfg: &RunConfig) -> Vec<Table1Row> {
             let b = MapBench::new(MapConfig::paper(kind, writes, 1), SoleroStrategy::new);
             let m = measure(
                 &cfg,
-                |t, rng: &mut SmallRng| b.op(t, rng),
+                |t, rng: &mut TestRng| b.op(t, rng),
                 || b.snapshot(),
             );
             rows.push(row(&format!("{label} ({writes}% writes)"), &m));

@@ -1,0 +1,128 @@
+//! Concurrent elision stress over the shadow-heap maps (satellite of
+//! the hermetic-testkit issue): writers continuously mutate a
+//! `JHashMap`/`JTreeMap` under [`SoleroStrategy`] write sections while
+//! readers run elided read-only sections. Every value a reader
+//! *returns* must be one the key actually held — the validation
+//! protocol must filter every torn observation out.
+//!
+//! The whole run is driven by [`solero_testkit::stress`]: named
+//! barrier-phased workers, per-worker deterministic generator streams,
+//! and a watchdog that turns a protocol deadlock into a test failure
+//! instead of a hang. The same fixed root-seed matrix is replayed on
+//! every run (`SOLERO_TESTKIT_SEED` overrides it).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use solero::{Checkpoint, SoleroStrategy, SyncStrategy};
+use solero_collections::{JHashMap, JTreeMap};
+use solero_heap::Heap;
+use solero_testkit::{seed_matrix, seed_override, stress, StressConfig};
+
+/// Invariant: key `k` only ever maps to `k * MULT`.
+const MULT: i64 = 1_000_003;
+/// Small key space maximizes writer/reader collisions.
+const KEYS: i64 = 256;
+/// Operations per worker per round.
+const OPS: usize = 4_000;
+/// Workers 0..WRITERS mutate; the rest read speculatively.
+const WRITERS: usize = 2;
+const THREADS: usize = 6;
+const ROUNDS: usize = 3;
+
+fn run_matrix(name: &str, root: u64, mut round: impl FnMut(&str, u64)) {
+    for (i, seed) in seed_matrix(seed_override(root), 3).into_iter().enumerate() {
+        round(&format!("{name}-m{i}"), seed);
+    }
+}
+
+fn stress_map<G, P>(name: &str, seed: u64, get: G, put: P, remove: impl Fn(i64) + Sync)
+where
+    G: Fn(i64, &mut dyn Checkpoint) -> Result<Option<i64>, solero::Fault> + Sync,
+    P: Fn(i64, i64) + Sync,
+{
+    let strat = SoleroStrategy::new();
+    let validated_reads = AtomicU64::new(0);
+    stress(
+        name,
+        &StressConfig::new(THREADS, ROUNDS, seed),
+        |w| {
+            if w.id < WRITERS {
+                for _ in 0..OPS {
+                    let k = w.rng.gen_range(0..KEYS);
+                    if w.rng.gen_bool(0.25) {
+                        strat.write_section(|| remove(k));
+                    } else {
+                        strat.write_section(|| put(k, k * MULT));
+                    }
+                }
+            } else {
+                for _ in 0..OPS {
+                    let k = w.rng.gen_range(0..KEYS);
+                    // Faults must flow OUT of the section: speculation
+                    // artifacts (stale handles, torn structure) are the
+                    // strategy's to triage and retry, and only genuine
+                    // faults may surface here.
+                    let got = strat
+                        .read_section(|ck| get(k, ck as &mut dyn Checkpoint))
+                        .expect("no genuine faults in a pure read");
+                    if let Some(v) = got {
+                        assert_eq!(v, k * MULT, "validated read of key {k} returned a torn value");
+                    }
+                    validated_reads.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        },
+    );
+    let snap = strat.snapshot();
+    let expected_reads = ((THREADS - WRITERS) * ROUNDS * OPS) as u64;
+    assert_eq!(
+        validated_reads.load(Ordering::Relaxed),
+        expected_reads,
+        "every reader iteration must complete (starvation-freedom)"
+    );
+    assert_eq!(snap.read_enters, expected_reads);
+    assert!(
+        snap.elision_success > 0,
+        "contended readers must still elide sometimes: {snap}"
+    );
+    // Any speculative failure must have been recovered from, not leaked;
+    // reaching this point with the value invariant intact is the proof.
+}
+
+#[test]
+fn hashmap_speculative_readers_observe_only_real_values() {
+    run_matrix("elide-hash", 0x5EED_AA01, |name, seed| {
+        let heap = Heap::new(1 << 22);
+        let map = JHashMap::new(&heap, 64).unwrap();
+        stress_map(
+            name,
+            seed,
+            |k, ck| map.get(&heap, k, ck),
+            |k, v| {
+                map.put(&heap, k, v).unwrap();
+            },
+            |k| {
+                map.remove(&heap, k).unwrap();
+            },
+        );
+    });
+}
+
+#[test]
+fn treemap_speculative_readers_observe_only_real_values() {
+    run_matrix("elide-tree", 0x5EED_AA02, |name, seed| {
+        let heap = Heap::new(1 << 22);
+        let map = JTreeMap::new(&heap).unwrap();
+        stress_map(
+            name,
+            seed,
+            |k, ck| map.get(&heap, k, ck),
+            |k, v| {
+                map.put(&heap, k, v).unwrap();
+            },
+            |k| {
+                map.remove(&heap, k).unwrap();
+            },
+        );
+    });
+}

@@ -2,8 +2,7 @@
 //! equivalent — the same operation sequence leaves the same map state
 //! and returns the same values, whatever the lock implementation.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use solero_testkit::rng::TestRng;
 use solero::{
     Checkpoint, LockStrategy, NullCheckpoint, RwLockStrategy, SoleroStrategy, SyncStrategy,
 };
@@ -14,7 +13,7 @@ fn drive<S: SyncStrategy>(strat: &S, seed: u64) -> (Vec<(i64, i64)>, Vec<Option<
     let heap = Heap::new(1 << 20);
     let hash = JHashMap::new(&heap, 16).unwrap();
     let tree = JTreeMap::new(&heap).unwrap();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut observed = Vec::new();
     for _ in 0..3_000 {
         let k = rng.gen_range(-64i64..64);
