@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use solero_testkit::bench::Criterion;
 use solero_testkit::{criterion_group, criterion_main};
-use solero::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
+use solero::{LockStrategy, RwLockStrategy, SoleroConfig, SoleroStrategy, SyncStrategy};
 
 fn bench_strategy<S: SyncStrategy>(c: &mut Criterion, name: &str, s: S) {
     c.bench_function(&format!("empty/{name}"), |b| {
@@ -17,8 +17,16 @@ fn empty_sections(c: &mut Criterion) {
     bench_strategy(c, "Lock", LockStrategy::new());
     bench_strategy(c, "RWLock", RwLockStrategy::new());
     bench_strategy(c, "SOLERO", SoleroStrategy::new());
-    bench_strategy(c, "Unelided-SOLERO", SoleroStrategy::unelided());
-    bench_strategy(c, "WeakBarrier-SOLERO", SoleroStrategy::weak_barrier());
+    bench_strategy(
+        c,
+        "Unelided-SOLERO",
+        SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build()),
+    );
+    bench_strategy(
+        c,
+        "WeakBarrier-SOLERO",
+        SoleroStrategy::configured(SoleroConfig::builder().weak_barrier(true).build()),
+    );
 }
 
 criterion_group! {

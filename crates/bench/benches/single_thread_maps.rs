@@ -9,7 +9,7 @@ use solero_testkit::rng::TestRng;
 use solero::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
 use solero_workloads::maps::{MapBench, MapConfig, MapKind};
 
-fn bench_map<S: SyncStrategy>(
+fn bench_map<S: SyncStrategy + 'static>(
     c: &mut Criterion,
     label: &str,
     kind: MapKind,

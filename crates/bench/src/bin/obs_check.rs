@@ -1,0 +1,45 @@
+//! `obs_check` — offline JSONL schema checker for observability traces.
+//!
+//! ```text
+//! obs_check [path]    # default: results/obs.jsonl
+//! ```
+//!
+//! Validates every line against the schema in [`solero_obs::schema`]
+//! and exits non-zero on the first malformed line (or if the file holds
+//! no `meta` line at all). Runs with no features: the schema checker is
+//! part of the always-on half of `solero-obs`, so CI can validate traces
+//! produced by an `obs-trace` build without rebuilding the world.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/obs.jsonl".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut lines = 0usize;
+    let mut saw_meta = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = solero_obs::schema::validate_line(line) {
+            eprintln!("obs_check: {path}:{}: {e}", i + 1);
+            return ExitCode::FAILURE;
+        }
+        saw_meta |= line.contains("\"type\":\"meta\"");
+        lines += 1;
+    }
+    if !saw_meta {
+        eprintln!("obs_check: {path}: no meta line found");
+        return ExitCode::FAILURE;
+    }
+    println!("obs_check: {path}: {lines} lines OK");
+    ExitCode::SUCCESS
+}

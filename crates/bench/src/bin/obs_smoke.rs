@@ -1,0 +1,68 @@
+//! `obs_smoke` — end-to-end exercise of the observability layer.
+//!
+//! Built only with `--features obs-trace`. Installs a [`TraceRecorder`],
+//! runs a short hostile HashMap workload over the boxed strategy fleet
+//! (so aborts of several flavors actually occur), exports the JSONL
+//! trace to `results/obs.jsonl`, and prints the human-readable report
+//! plus the abort/latency tables. `obs_check` then validates the file
+//! against the schema in CI.
+
+use std::path::Path;
+
+use solero_bench::report::{obs_abort_table, obs_latency_table};
+use solero_obs::TraceRecorder;
+use solero_testkit::rng::TestRng;
+use solero_workloads::driver::{export_obs, measure, RunConfig};
+use solero_workloads::maps::{MapBench, MapConfig, MapKind};
+
+fn main() {
+    if !solero_obs::install(Box::new(TraceRecorder::new())) {
+        eprintln!("obs_smoke: a recorder was already installed");
+        std::process::exit(1);
+    }
+
+    // A write-heavy, contended configuration so speculative readers
+    // abort for real reasons: 4 threads, one shared map, 20% writes.
+    let cfg = RunConfig {
+        threads: 4,
+        warmup: std::time::Duration::from_millis(10),
+        window: std::time::Duration::from_millis(50),
+        windows: 2,
+        runs: 1,
+    };
+    for (label, make) in solero_bench::figures::MAIN_FLEET {
+        let b = MapBench::new_boxed(MapConfig::paper(MapKind::Hash, 20, 1), make);
+        let m = measure(&cfg, |t, rng: &mut TestRng| b.op(t, rng), || b.snapshot());
+        println!("{label:>8}: {:.0} ops/s", m.ops_per_sec);
+    }
+
+    let path = Path::new("results/obs.jsonl");
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("obs_smoke: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    match export_obs(path) {
+        Ok(Some(report)) => {
+            println!("{report}");
+            let rec = solero_obs::recorder().expect("recorder installed above");
+            let snap = rec.snapshot();
+            print!("{}", obs_abort_table(&snap).render());
+            print!("{}", obs_latency_table(&snap).render());
+            println!("wrote {}", path.display());
+            if snap.events_recorded == 0 {
+                eprintln!("obs_smoke: tracing recorded no events");
+                std::process::exit(1);
+            }
+        }
+        Ok(None) => {
+            eprintln!("obs_smoke: recorder vanished after install");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("obs_smoke: export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -57,7 +57,7 @@ fn main() {
             "fig12" => emit(&figures::fig12(&h), &dir, "fig12"),
             "fig13" => emit(&figures::fig13(&h), &dir, "fig13"),
             "fig14" => emit(&[figures::fig14(&h)], &dir, "fig14"),
-            "fig15" => emit(&[figures::fig15(&h)], &dir, "fig15"),
+            "fig15" => emit(&figures::fig15(&h), &dir, "fig15"),
             "fig16" => emit(&[figures::fig16(&h)], &dir, "fig16"),
             "latency" => emit(&[figures::latency(&h)], &dir, "latency"),
             "ablations" => {

@@ -15,7 +15,9 @@
 //! * Figure 16 — DaCapo profiles, Lock vs SOLERO.
 
 use solero_testkit::rng::TestRng;
-use solero::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
+use solero::{
+    BoxedStrategy, LockStrategy, RwLockStrategy, SoleroConfig, SoleroStrategy, SyncStrategy,
+};
 use solero_workloads::dacapo::{DacapoBench, DACAPO_PROFILES};
 use solero_workloads::driver::{measure, Measurement, RunConfig};
 use solero_workloads::empty::EmptyBench;
@@ -53,20 +55,32 @@ impl HarnessConfig {
     }
 }
 
-fn measure_map<S: SyncStrategy>(
+/// The strategy fleet the comparative figures iterate — boxed factories
+/// behind the dyn-compatible facade, so one heterogeneous list drives
+/// every sweep.
+pub const MAIN_FLEET: [(&str, fn() -> BoxedStrategy); 3] = [
+    ("Lock", || Box::new(LockStrategy::new())),
+    ("RWLock", || Box::new(RwLockStrategy::new())),
+    ("SOLERO", || Box::new(SoleroStrategy::new())),
+];
+
+fn measure_map(
     cfg: &RunConfig,
     map_cfg: MapConfig,
-    make: impl Fn() -> S,
+    make: impl Fn() -> BoxedStrategy,
 ) -> Measurement {
-    let b = MapBench::new(map_cfg, make);
+    let b = MapBench::new_boxed(map_cfg, make);
     measure(cfg, |t, rng: &mut TestRng| b.op(t, rng), || b.snapshot())
 }
 
-fn measure_jbb<S: SyncStrategy>(cfg: &RunConfig, make: impl Fn() -> S) -> Measurement {
-    let b = JbbBench::new(cfg.threads, make);
+fn measure_jbb(cfg: &RunConfig, make: impl Fn() -> BoxedStrategy) -> Measurement {
+    let b = JbbBench::new_boxed(cfg.threads, make);
     measure(cfg, |t, rng| b.op(t, rng), || b.snapshot())
 }
 
+/// `EmptyBench` deliberately stays generic (monomorphized): the Figure
+/// 10 probe measures pure lock overhead, where a virtual call would be
+/// a measurable artifact.
 fn measure_empty<S: SyncStrategy>(cfg: &RunConfig, strat: S) -> Measurement {
     let b = EmptyBench::new(strat);
     measure(cfg, |_, _| b.op(), || b.snapshot())
@@ -99,11 +113,17 @@ pub fn fig10(h: &HarnessConfig) -> Table {
         ("SOLERO", measure_empty(&cfg, SoleroStrategy::new())),
         (
             "Unelided-SOLERO",
-            measure_empty(&cfg, SoleroStrategy::unelided()),
+            measure_empty(
+                &cfg,
+                SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build()),
+            ),
         ),
         (
             "WeakBarrier-SOLERO",
-            measure_empty(&cfg, SoleroStrategy::weak_barrier()),
+            measure_empty(
+                &cfg,
+                SoleroStrategy::configured(SoleroConfig::builder().weak_barrier(true).build()),
+            ),
         ),
     ];
     let base = entries[0].1.ns_per_op();
@@ -136,19 +156,20 @@ pub fn fig11(h: &HarnessConfig) -> Table {
         (MapKind::Tree, "TreeMap", 5),
     ] {
         let mc = MapConfig::paper(kind, writes, 1);
-        let lock = measure_map(&cfg, mc, LockStrategy::new).ops_per_sec;
-        let rw = measure_map(&cfg, mc, RwLockStrategy::new).ops_per_sec;
-        let so = measure_map(&cfg, mc, SoleroStrategy::new).ops_per_sec;
+        let ops: Vec<f64> = MAIN_FLEET
+            .iter()
+            .map(|(_, make)| measure_map(&cfg, mc, make).ops_per_sec)
+            .collect();
         t.row(vec![
             format!("{label} ({writes}% writes)"),
             "100.0".into(),
-            f3(rw / lock * 100.0),
-            f3(so / lock * 100.0),
+            f3(ops[1] / ops[0] * 100.0),
+            f3(ops[2] / ops[0] * 100.0),
         ]);
     }
     // SPECjbb: the paper does not measure RWLock here.
-    let lock = measure_jbb(&cfg, LockStrategy::new).ops_per_sec;
-    let so = measure_jbb(&cfg, SoleroStrategy::new).ops_per_sec;
+    let lock = measure_jbb(&cfg, || Box::new(LockStrategy::new())).ops_per_sec;
+    let so = measure_jbb(&cfg, || Box::new(SoleroStrategy::new())).ops_per_sec;
     t.row(vec![
         "SPECjbb2005 (mini)".into(),
         "100.0".into(),
@@ -167,16 +188,14 @@ fn sweep_map(h: &HarnessConfig, kind: MapKind, writes: u32, fine: bool, title: &
         let cfg = h.run(n);
         let shards = if fine { n } else { 1 };
         let mc = MapConfig::paper(kind, writes, shards);
-        let lock = measure_map(&cfg, mc, LockStrategy::new).ops_per_sec;
-        let rw = measure_map(&cfg, mc, RwLockStrategy::new).ops_per_sec;
-        let so = measure_map(&cfg, mc, SoleroStrategy::new).ops_per_sec;
-        let b = *base.get_or_insert(lock);
-        t.row(vec![
-            n.to_string(),
-            f3(lock / b),
-            f3(rw / b),
-            f3(so / b),
-        ]);
+        let ops: Vec<f64> = MAIN_FLEET
+            .iter()
+            .map(|(_, make)| measure_map(&cfg, mc, make).ops_per_sec)
+            .collect();
+        let b = *base.get_or_insert(ops[0]);
+        let mut row = vec![n.to_string()];
+        row.extend(ops.iter().map(|o| f3(o / b)));
+        t.row(row);
     }
     t
 }
@@ -238,17 +257,20 @@ pub fn fig14(h: &HarnessConfig) -> Table {
     let mut base = None;
     for &n in &h.thread_counts() {
         let cfg = h.run(n);
-        let lock = measure_jbb(&cfg, LockStrategy::new).ops_per_sec;
-        let so = measure_jbb(&cfg, SoleroStrategy::new).ops_per_sec;
+        let lock = measure_jbb(&cfg, || Box::new(LockStrategy::new())).ops_per_sec;
+        let so = measure_jbb(&cfg, || Box::new(SoleroStrategy::new())).ops_per_sec;
         let b = *base.get_or_insert(lock);
         t.row(vec![n.to_string(), f3(lock / b), f3(so / b)]);
     }
     t
 }
 
-/// Figure 15 — SOLERO speculative-failure ratio per thread count.
-pub fn fig15(h: &HarnessConfig) -> Table {
-    let mut t = Table::new(
+/// Figure 15 — SOLERO speculative-failure ratio per thread count, plus
+/// the abort-reason breakdown behind each ratio (from the per-reason
+/// counters the locks keep; no tracing needed).
+pub fn fig15(h: &HarnessConfig) -> Vec<Table> {
+    let solero: fn() -> BoxedStrategy = || Box::new(SoleroStrategy::new());
+    let mut ratios = Table::new(
         "Figure 15: SOLERO speculative-failure ratio",
         &[
             "threads",
@@ -258,21 +280,53 @@ pub fn fig15(h: &HarnessConfig) -> Table {
             "SPECjbb",
         ],
     );
+    let mut reasons = Table::new(
+        "Figure 15 (breakdown): read aborts by reason (share of aborts)",
+        &[
+            "threads",
+            "workload",
+            "aborts",
+            "locked_at_entry",
+            "word_changed_at_exit",
+            "async_revalidation_fail",
+            "retry_exhausted_fallback",
+            "inflation",
+        ],
+    );
     for &n in &h.thread_counts() {
         let cfg = h.run(n);
-        let h5 = measure_map(&cfg, MapConfig::paper(MapKind::Hash, 5, 1), SoleroStrategy::new);
-        let h5f = measure_map(&cfg, MapConfig::paper(MapKind::Hash, 5, n), SoleroStrategy::new);
-        let t5 = measure_map(&cfg, MapConfig::paper(MapKind::Tree, 5, 1), SoleroStrategy::new);
-        let jb = measure_jbb(&cfg, SoleroStrategy::new);
-        t.row(vec![
-            n.to_string(),
-            pct(h5.stats.failure_ratio()),
-            pct(h5f.stats.failure_ratio()),
-            pct(t5.stats.failure_ratio()),
-            pct(jb.stats.failure_ratio()),
-        ]);
+        let runs = [
+            (
+                "HashMap 5%",
+                measure_map(&cfg, MapConfig::paper(MapKind::Hash, 5, 1), solero),
+            ),
+            (
+                "HashMap 5% fine",
+                measure_map(&cfg, MapConfig::paper(MapKind::Hash, 5, n), solero),
+            ),
+            (
+                "TreeMap 5%",
+                measure_map(&cfg, MapConfig::paper(MapKind::Tree, 5, 1), solero),
+            ),
+            ("SPECjbb", measure_jbb(&cfg, solero)),
+        ];
+        let mut row = vec![n.to_string()];
+        row.extend(runs.iter().map(|(_, m)| pct(m.stats.failure_ratio())));
+        ratios.row(row);
+        for (name, m) in &runs {
+            let total = m.stats.read_aborts;
+            let mut r = vec![n.to_string(), (*name).into(), total.to_string()];
+            for (_, count) in m.stats.abort_reasons() {
+                r.push(if total == 0 {
+                    "-".into()
+                } else {
+                    pct(count as f64 / total as f64)
+                });
+            }
+            reasons.row(r);
+        }
     }
-    t
+    vec![ratios, reasons]
 }
 
 /// Figure 16 — DaCapo profiles: SOLERO throughput relative to Lock.
@@ -306,7 +360,6 @@ pub fn fig16(h: &HarnessConfig) -> Table {
 /// after a larger number of failures"). Measures HashMap 5% writes at
 /// the highest thread count.
 pub fn ablation_fallback(h: &HarnessConfig) -> Table {
-    use solero::SoleroConfig;
     let threads = *h.thread_counts().last().unwrap();
     let cfg = h.run(threads);
     let mut t = Table::new(
@@ -320,12 +373,9 @@ pub fn ablation_fallback(h: &HarnessConfig) -> Table {
         (8, "8"),
         (16, "16"),
     ] {
-        let sc = SoleroConfig {
-            fallback_threshold: thr,
-            ..SoleroConfig::default()
-        };
+        let sc = SoleroConfig::builder().retries(thr).build();
         let m = measure_map(&cfg, MapConfig::paper(MapKind::Hash, 5, 1), move || {
-            SoleroStrategy::with_config(sc, "SOLERO")
+            Box::new(SoleroStrategy::configured(sc))
         });
         let ops = m.stats.total_sections().max(1);
         t.row(vec![
@@ -342,7 +392,6 @@ pub fn ablation_fallback(h: &HarnessConfig) -> Table {
 /// loop-break machinery): denser validation detects stale speculation
 /// sooner but taxes every loop iteration. TreeMap 5% writes.
 pub fn ablation_checkpoint(h: &HarnessConfig) -> Table {
-    use solero::SoleroConfig;
     let threads = *h.thread_counts().last().unwrap();
     let cfg = h.run(threads);
     let mut t = Table::new(
@@ -356,12 +405,9 @@ pub fn ablation_checkpoint(h: &HarnessConfig) -> Table {
         (1024, "1024 (default)"),
         (0, "events only"),
     ] {
-        let sc = SoleroConfig {
-            checkpoint_period: period,
-            ..SoleroConfig::default()
-        };
+        let sc = SoleroConfig::builder().checkpoint_period(period).build();
         let m = measure_map(&cfg, MapConfig::paper(MapKind::Tree, 5, 1), move || {
-            SoleroStrategy::with_config(sc, "SOLERO")
+            Box::new(SoleroStrategy::configured(sc))
         });
         let ops = m.stats.total_sections().max(1);
         t.row(vec![
@@ -428,5 +474,23 @@ mod tests {
     #[test]
     fn table1_has_ten_rows() {
         assert_eq!(table1(&tiny()).len(), 10);
+    }
+
+    #[test]
+    fn fig15_includes_the_reason_breakdown() {
+        let tables = fig15(&tiny());
+        assert_eq!(tables.len(), 2);
+        let csv = tables[1].to_csv();
+        for reason in [
+            "locked_at_entry",
+            "word_changed_at_exit",
+            "async_revalidation_fail",
+            "retry_exhausted_fallback",
+            "inflation",
+        ] {
+            assert!(csv.contains(reason), "missing column {reason}:\n{csv}");
+        }
+        // threads × four workloads rows.
+        assert_eq!(tables[1].len(), tiny().thread_counts().len() * 4);
     }
 }

@@ -69,21 +69,104 @@ impl Default for SoleroConfig {
 }
 
 impl SoleroConfig {
-    /// The paper's `Unelided-SOLERO` ablation.
-    pub fn unelided() -> Self {
-        SoleroConfig {
-            elision: ElisionMode::NoElide,
-            ..Self::default()
+    /// Starts a builder from the paper's default configuration.
+    ///
+    /// ```
+    /// use solero::SoleroConfig;
+    ///
+    /// let cfg = SoleroConfig::builder().retries(3).weak_barrier(true).build();
+    /// assert_eq!(cfg.fallback_threshold, 3);
+    /// ```
+    pub fn builder() -> SoleroConfigBuilder {
+        SoleroConfigBuilder {
+            cfg: Self::default(),
         }
+    }
+
+    /// The paper's `Unelided-SOLERO` ablation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SoleroConfig::builder().unelided(true).build()"
+    )]
+    pub fn unelided() -> Self {
+        Self::builder().unelided(true).build()
     }
 
     /// The paper's `WeakBarrier-SOLERO` ablation (incorrect fences,
     /// measured to isolate memory-ordering overhead).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SoleroConfig::builder().weak_barrier(true).build()"
+    )]
     pub fn weak_barrier() -> Self {
-        SoleroConfig {
-            barrier: BarrierMode::Weak,
-            ..Self::default()
-        }
+        Self::builder().weak_barrier(true).build()
+    }
+}
+
+/// Builds a [`SoleroConfig`] starting from the paper's defaults; the
+/// single construction path for ablation and tuning variants.
+#[derive(Debug, Clone, Copy)]
+pub struct SoleroConfigBuilder {
+    cfg: SoleroConfig,
+}
+
+impl SoleroConfigBuilder {
+    /// Speculative failures tolerated before falling back to acquiring
+    /// the lock (the paper's value is 1). Clamped to at least 1.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.cfg.fallback_threshold = n.max(1);
+        self
+    }
+
+    /// `true` selects the incorrect-fence `WeakBarrier-SOLERO` ablation;
+    /// `false` restores the correct strong fences.
+    pub fn weak_barrier(mut self, weak: bool) -> Self {
+        self.cfg.barrier = if weak {
+            BarrierMode::Weak
+        } else {
+            BarrierMode::Strong
+        };
+        self
+    }
+
+    /// `true` selects the `Unelided-SOLERO` ablation (read-only sections
+    /// acquire the lock); `false` restores elision.
+    pub fn unelided(mut self, unelided: bool) -> Self {
+        self.cfg.elision = if unelided {
+            ElisionMode::NoElide
+        } else {
+            ElisionMode::Elide
+        };
+        self
+    }
+
+    /// Explicit elision mode.
+    pub fn elision(mut self, mode: ElisionMode) -> Self {
+        self.cfg.elision = mode;
+        self
+    }
+
+    /// Explicit barrier mode.
+    pub fn barrier(mut self, mode: BarrierMode) -> Self {
+        self.cfg.barrier = mode;
+        self
+    }
+
+    /// Three-tier contention loop sizes.
+    pub fn spin(mut self, spin: SpinConfig) -> Self {
+        self.cfg.spin = spin;
+        self
+    }
+
+    /// Deterministic validation period at check-points (`0` disables).
+    pub fn checkpoint_period(mut self, period: u64) -> Self {
+        self.cfg.checkpoint_period = period;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> SoleroConfig {
+        self.cfg
     }
 }
 
@@ -100,8 +183,36 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the thin wrappers must keep working for one PR
     fn ablation_constructors() {
         assert_eq!(SoleroConfig::unelided().elision, ElisionMode::NoElide);
         assert_eq!(SoleroConfig::weak_barrier().barrier, BarrierMode::Weak);
+        // The wrappers are exactly the builder spellings.
+        assert_eq!(
+            SoleroConfig::unelided(),
+            SoleroConfig::builder().unelided(true).build()
+        );
+        assert_eq!(
+            SoleroConfig::weak_barrier(),
+            SoleroConfig::builder().weak_barrier(true).build()
+        );
+    }
+
+    #[test]
+    fn builder_covers_every_knob() {
+        let cfg = SoleroConfig::builder()
+            .retries(7)
+            .weak_barrier(true)
+            .checkpoint_period(64)
+            .spin(SpinConfig::immediate())
+            .build();
+        assert_eq!(cfg.fallback_threshold, 7);
+        assert_eq!(cfg.barrier, BarrierMode::Weak);
+        assert_eq!(cfg.checkpoint_period, 64);
+        assert_eq!(cfg.spin, SpinConfig::immediate());
+        // retries(0) still falls back eventually (threshold >= 1).
+        assert_eq!(SoleroConfig::builder().retries(0).build().fallback_threshold, 1);
+        // Defaults flow through untouched.
+        assert_eq!(SoleroConfig::builder().build(), SoleroConfig::default());
     }
 }

@@ -47,6 +47,9 @@
 //! * [`SyncStrategy`] with [`LockStrategy`], [`RwLockStrategy`],
 //!   [`SoleroStrategy`] — the three lock implementations the paper
 //!   compares, behind one interface so workloads are shared;
+//! * [`DynSyncStrategy`] / [`BoxedStrategy`] — the object-safe facade,
+//!   so drivers can hold heterogeneous `Vec<Box<dyn DynSyncStrategy>>`
+//!   fleets and dispatch sections dynamically;
 //! * [`Fault`] — the runtime-exception model used for speculative-fault
 //!   recovery (§3.3).
 //!
@@ -60,12 +63,14 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod dynstrategy;
 mod lock;
 mod read;
 mod session;
 mod strategy;
 
-pub use config::{ElisionMode, SoleroConfig};
+pub use config::{ElisionMode, SoleroConfig, SoleroConfigBuilder};
+pub use dynstrategy::{BoxedStrategy, DynSyncStrategy};
 pub use lock::{SoleroLock, SoleroWriteGuard, WriteTicket};
 pub use session::{Checkpoint, MostlySession, NullCheckpoint, ReadSession, WriteIntent};
 pub use strategy::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use solero_obs::{AbortReason, EventKind, LockEvent};
 use solero_runtime::osmonitor::{MonitorTable, OsMonitor};
 use solero_runtime::spin::Probe;
 use solero_runtime::stats::LockStats;
@@ -180,6 +181,31 @@ impl SoleroLock {
         &self.word as *const _ as usize
     }
 
+    /// Stable lock identity for observability events.
+    #[inline]
+    pub(crate) fn obs_id(&self) -> u64 {
+        self.monitor_key() as u64
+    }
+
+    /// Classifies one aborted speculative read attempt: bumps the
+    /// aggregate `read_aborts` counter plus the per-reason counter (the
+    /// Figure 15 breakdown), and emits the trace event. Every abort goes
+    /// through here exactly once, so the per-reason counters always sum
+    /// to `read_aborts`.
+    #[cold]
+    pub(crate) fn note_abort(&self, reason: AbortReason) {
+        self.stats.read_aborts.fetch_add(1, Ordering::Relaxed);
+        let counter = match reason {
+            AbortReason::LockedAtEntry => &self.stats.abort_locked_at_entry,
+            AbortReason::WordChangedAtExit => &self.stats.abort_word_changed_at_exit,
+            AbortReason::AsyncRevalidationFail => &self.stats.abort_async_revalidation,
+            AbortReason::RetryExhaustedFallback => &self.stats.abort_retry_exhausted,
+            AbortReason::Inflation => &self.stats.abort_inflation,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::Abort(reason)));
+    }
+
     pub(crate) fn monitor(&self) -> Arc<OsMonitor> {
         MonitorTable::global().monitor_for(self.monitor_key())
     }
@@ -202,11 +228,14 @@ impl SoleroLock {
         {
             self.stats.write_fast.fetch_add(1, Ordering::Relaxed);
             self.saved_v1.store(v1.raw(), Ordering::Relaxed);
+            solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::WriteAcquire));
             return WriteTicket { v1: v1.raw() };
         }
-        WriteTicket {
+        let t = WriteTicket {
             v1: self.slow_enter_write(tid),
-        }
+        };
+        solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::WriteAcquire));
+        t
     }
 
     /// Releases a writing critical section (Figure 6, lines 15–21).
@@ -215,6 +244,7 @@ impl SoleroLock {
     ///
     /// Debug-asserts that `tid` holds the lock.
     pub fn exit_write(&self, tid: ThreadId, ticket: WriteTicket) {
+        solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::WriteRelease));
         let v2 = SoleroWord(self.word.load(Ordering::Relaxed));
         if v2.fast_releasable() {
             debug_assert_eq!(v2.tid(), Some(tid), "release by non-owner");

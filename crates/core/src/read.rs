@@ -17,6 +17,7 @@
 
 use std::sync::atomic::Ordering;
 
+use solero_obs::{AbortReason, EventKind, LockEvent};
 use solero_runtime::fault::Fault;
 use solero_runtime::spin::Probe;
 use solero_runtime::thread::ThreadId;
@@ -132,6 +133,7 @@ impl SoleroLock {
         // Figure 7, lines 1–8, inlined.
         let v = self.word.load(Ordering::Acquire);
         if SoleroWord(v).is_elidable() {
+            solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::ElisionAttempt));
             self.config.barrier.read_entry_fence();
             let mut s = ReadSession::new(self, v, false);
             let out = f(&mut s);
@@ -183,6 +185,7 @@ impl SoleroLock {
         let tid = ThreadId::current();
         let (v, held) = self.slow_read_enter(tid);
         if !held {
+            solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::ElisionAttempt));
             self.config.barrier.read_entry_fence();
         }
         let mut s = ReadSession::new(self, v, held);
@@ -216,6 +219,7 @@ impl SoleroLock {
                     return Settled::Done(Ok(r));
                 }
                 self.stats.elision_failure.fetch_add(1, Ordering::Relaxed);
+                self.note_abort(AbortReason::WordChangedAtExit);
                 Settled::Retry(1)
             }
             Err(fault) => {
@@ -229,6 +233,7 @@ impl SoleroLock {
                 if fault == Fault::UpgradeFailed {
                     // Figure 17, line 13: go straight to fallback.
                     self.stats.elision_failure.fetch_add(1, Ordering::Relaxed);
+                    self.note_abort(AbortReason::WordChangedAtExit);
                     return Settled::Retry(self.config.fallback_threshold.max(1));
                 }
                 // Catch-block validation (§3.3): unchanged word means
@@ -240,6 +245,13 @@ impl SoleroLock {
                     .speculative_faults
                     .fetch_add(1, Ordering::Relaxed);
                 self.stats.elision_failure.fetch_add(1, Ordering::Relaxed);
+                // A check-point raised the inconsistency; any other fault
+                // was ruled an artifact because the word changed.
+                self.note_abort(if fault == Fault::Inconsistent {
+                    AbortReason::AsyncRevalidationFail
+                } else {
+                    AbortReason::WordChangedAtExit
+                });
                 Settled::Retry(1)
             }
         }
@@ -257,7 +269,12 @@ impl SoleroLock {
         loop {
             let (v, held) = if failures >= self.config.fallback_threshold {
                 self.stats.fallback_acquires.fetch_add(1, Ordering::Relaxed);
-                (self.slow_enter_write(tid), true)
+                self.note_abort(AbortReason::RetryExhaustedFallback);
+                let v = self.slow_enter_write(tid);
+                solero_obs::emit(|| {
+                    LockEvent::now(self.obs_id(), EventKind::FallbackAcquire)
+                });
+                (v, true)
             } else {
                 let raw = self.word.load(Ordering::Acquire);
                 if SoleroWord(raw).is_elidable() {
@@ -267,6 +284,7 @@ impl SoleroLock {
                 }
             };
             if !held {
+                solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::ElisionAttempt));
                 self.config.barrier.read_entry_fence();
             }
             let mut s = ReadSession::new(self, v, held);
@@ -314,9 +332,15 @@ impl SoleroLock {
             }
         });
         match spun {
-            Some(Some(v)) => (v, false),
+            Some(Some(v)) => {
+                // The word was busy at entry; speculation had to wait for
+                // it to free up before (re)starting.
+                self.note_abort(AbortReason::LockedAtEntry);
+                (v, false)
+            }
             // Figure 8, INFLATION: acquire the fat lock via the monitor.
             Some(None) | None => {
+                self.note_abort(AbortReason::Inflation);
                 let entered = self.enter_via_monitor(tid);
                 debug_assert!(entered);
                 (0, true)
@@ -388,7 +412,7 @@ mod tests {
 
     #[test]
     fn unelided_mode_acquires() {
-        let l = SoleroLock::with_config(SoleroConfig::unelided());
+        let l = SoleroLock::with_config(SoleroConfig::builder().unelided(true).build());
         let before = l.raw_word().counter().unwrap();
         l.read_only(|s| {
             assert!(!s.is_speculative());

@@ -11,6 +11,7 @@
 
 use std::sync::atomic::Ordering;
 
+use solero_obs::{EventKind, LockEvent};
 use solero_runtime::events::EventPoll;
 use solero_runtime::fault::Fault;
 use solero_runtime::thread::ThreadId;
@@ -144,6 +145,9 @@ impl<'a> ReadSession<'a> {
                 .stats
                 .mostly_upgrades
                 .fetch_add(1, Ordering::Relaxed);
+            solero_obs::emit(|| {
+                LockEvent::now(self.lock.monitor_key() as u64, EventKind::MostlyUpgrade)
+            });
             self.held = true;
             return Ok(());
         }

@@ -13,6 +13,7 @@
 //! workload code — including its back-edge check-points — is identical
 //! across strategies, keeping the comparison fair.
 
+use solero_obs::SectionKind;
 use solero_runtime::fault::Fault;
 use solero_runtime::stats::StatsSnapshot;
 use solero_runtime::thread::ThreadId;
@@ -101,10 +102,12 @@ impl SyncStrategy for LockStrategy {
     }
 
     fn write_section<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t = solero_obs::section_start();
         let tid = ThreadId::current();
         self.lock.enter(tid);
         let r = f();
         self.lock.exit(tid);
+        solero_obs::section_end(t, self.name(), SectionKind::Write);
         r
     }
 
@@ -112,12 +115,27 @@ impl SyncStrategy for LockStrategy {
         &self,
         mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
     ) -> Result<R, Fault> {
+        let t = solero_obs::section_start();
         let tid = ThreadId::current();
         // Same acquisition; counted as a read section so Table 1's
         // read-only ratio is strategy-independent.
         self.lock.enter_read(tid);
         let r = f(&mut NullCheckpoint);
         self.lock.exit(tid);
+        solero_obs::section_end(t, self.name(), SectionKind::Read);
+        r
+    }
+
+    fn mostly_section<R>(
+        &self,
+        mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
+    ) -> Result<R, Fault> {
+        let t = solero_obs::section_start();
+        let tid = ThreadId::current();
+        self.lock.enter_read(tid);
+        let r = f(&mut NullCheckpoint);
+        self.lock.exit(tid);
+        solero_obs::section_end(t, self.name(), SectionKind::Mostly);
         r
     }
 
@@ -155,26 +173,41 @@ impl SyncStrategy for RwLockStrategy {
     }
 
     fn write_section<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _g = self.lock.write();
-        f()
+        let t = solero_obs::section_start();
+        let r = {
+            let _g = self.lock.write();
+            f()
+        };
+        solero_obs::section_end(t, self.name(), SectionKind::Write);
+        r
     }
 
     fn read_section<R>(
         &self,
         mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
     ) -> Result<R, Fault> {
-        let _g = self.lock.read();
-        f(&mut NullCheckpoint)
+        let t = solero_obs::section_start();
+        let r = {
+            let _g = self.lock.read();
+            f(&mut NullCheckpoint)
+        };
+        solero_obs::section_end(t, self.name(), SectionKind::Read);
+        r
     }
 
     fn mostly_section<R>(
         &self,
         mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
     ) -> Result<R, Fault> {
-        // A read-mostly section may write after `ensure_write`; under a
-        // read-write lock that requires the write mode.
-        let _g = self.lock.write();
-        f(&mut NullCheckpoint)
+        let t = solero_obs::section_start();
+        let r = {
+            // A read-mostly section may write after `ensure_write`; under
+            // a read-write lock that requires the write mode.
+            let _g = self.lock.write();
+            f(&mut NullCheckpoint)
+        };
+        solero_obs::section_end(t, self.name(), SectionKind::Mostly);
+        r
     }
 
     fn snapshot(&self) -> StatsSnapshot {
@@ -203,6 +236,27 @@ impl SoleroStrategy {
         }
     }
 
+    /// A strategy from a built [`SoleroConfig`], deriving the display
+    /// label from the configuration — the one constructor behind
+    /// `SoleroConfig::builder()`:
+    ///
+    /// ```
+    /// use solero::{SoleroConfig, SoleroStrategy, SyncStrategy};
+    ///
+    /// let s = SoleroStrategy::configured(
+    ///     SoleroConfig::builder().retries(4).weak_barrier(true).build(),
+    /// );
+    /// assert_eq!(s.name(), "WeakBarrier-SOLERO");
+    /// ```
+    pub fn configured(config: SoleroConfig) -> Self {
+        let label = match (config.elision, config.barrier) {
+            (crate::config::ElisionMode::NoElide, _) => "Unelided-SOLERO",
+            (_, solero_runtime::fence::BarrierMode::Weak) => "WeakBarrier-SOLERO",
+            _ => "SOLERO",
+        };
+        Self::with_config(config, label)
+    }
+
     /// A strategy with explicit configuration and display label.
     pub fn with_config(config: SoleroConfig, label: &'static str) -> Self {
         SoleroStrategy {
@@ -212,13 +266,21 @@ impl SoleroStrategy {
     }
 
     /// The `Unelided-SOLERO` ablation (Figure 10).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build())"
+    )]
     pub fn unelided() -> Self {
-        Self::with_config(SoleroConfig::unelided(), "Unelided-SOLERO")
+        Self::configured(SoleroConfig::builder().unelided(true).build())
     }
 
     /// The `WeakBarrier-SOLERO` ablation (Figure 10).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SoleroStrategy::configured(SoleroConfig::builder().weak_barrier(true).build())"
+    )]
     pub fn weak_barrier() -> Self {
-        Self::with_config(SoleroConfig::weak_barrier(), "WeakBarrier-SOLERO")
+        Self::configured(SoleroConfig::builder().weak_barrier(true).build())
     }
 
     /// The underlying lock.
@@ -237,21 +299,30 @@ impl SyncStrategy for SoleroStrategy {
     }
 
     fn write_section<R>(&self, f: impl FnOnce() -> R) -> R {
-        self.lock.write(f)
+        let t = solero_obs::section_start();
+        let r = self.lock.write(f);
+        solero_obs::section_end(t, self.name(), SectionKind::Write);
+        r
     }
 
     fn read_section<R>(
         &self,
         mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
     ) -> Result<R, Fault> {
-        self.lock.read_only(|s| f(s))
+        let t = solero_obs::section_start();
+        let r = self.lock.read_only(|s| f(s));
+        solero_obs::section_end(t, self.name(), SectionKind::Read);
+        r
     }
 
     fn mostly_section<R>(
         &self,
         mut f: impl FnMut(&mut dyn WriteIntent) -> Result<R, Fault>,
     ) -> Result<R, Fault> {
-        self.lock.read_mostly(|s| f(s))
+        let t = solero_obs::section_start();
+        let r = self.lock.read_mostly(|s| f(s));
+        solero_obs::section_end(t, self.name(), SectionKind::Mostly);
+        r
     }
 
     fn snapshot(&self) -> StatsSnapshot {
@@ -293,6 +364,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the thin wrappers must keep working for one PR
     fn all_strategies_run_the_same_workload() {
         exercise(&LockStrategy::new());
         exercise(&RwLockStrategy::new());
@@ -332,8 +404,8 @@ mod tests {
             LockStrategy::new().name(),
             RwLockStrategy::new().name(),
             SoleroStrategy::new().name(),
-            SoleroStrategy::unelided().name(),
-            SoleroStrategy::weak_barrier().name(),
+            SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build()).name(),
+            SoleroStrategy::configured(SoleroConfig::builder().weak_barrier(true).build()).name(),
         ];
         for (i, a) in names.iter().enumerate() {
             for b in &names[i + 1..] {

@@ -1,0 +1,503 @@
+//! The [`Recorder`] strategy and the global one-branch dispatch.
+//!
+//! Instrumented crates call [`emit`] / [`section_start`] /
+//! [`section_end`]. With the `trace` feature **disabled** those hooks
+//! compile to nothing — the lock hot paths carry zero extra
+//! instructions, which is what keeps the Empty-workload overhead
+//! budget. With `trace` **enabled** each hook costs one relaxed load
+//! and a branch until [`install`] puts a recorder in place; after that
+//! the installed [`Recorder`] decides what a record costs.
+//!
+//! [`TraceRecorder`] is the full-fidelity implementation: per-thread
+//! cache-padded bounded event rings, per-reason abort counters, and
+//! per-strategy log2 latency histograms, exportable as JSONL.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::event::{AbortReason, EventKind, LockEvent};
+use crate::hist::{HistSnapshot, LatencyHistogram};
+use crate::json::JsonObject;
+use crate::ring::{CachePadded, EventRing, DEFAULT_RING_CAPACITY};
+
+/// Which flavor of critical section a latency sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// A read-only section.
+    Read,
+    /// A writing section.
+    Write,
+    /// A read-mostly (§5) section.
+    Mostly,
+}
+
+impl SectionKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [SectionKind; 3] = [SectionKind::Read, SectionKind::Write, SectionKind::Mostly];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Read => "read",
+            SectionKind::Write => "write",
+            SectionKind::Mostly => "mostly",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SectionKind::Read => 0,
+            SectionKind::Write => 1,
+            SectionKind::Mostly => 2,
+        }
+    }
+}
+
+/// Merged per-strategy, per-section latency statistics.
+#[derive(Debug, Clone)]
+pub struct SectionStats {
+    /// Strategy display name ("Lock", "SOLERO", ...).
+    pub strategy: String,
+    /// Section flavor.
+    pub kind: SectionKind,
+    /// The merged histogram.
+    pub hist: HistSnapshot,
+}
+
+/// A point-in-time copy of everything a recorder accumulated.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSnapshot {
+    /// Threads that recorded at least one event or sample.
+    pub threads: usize,
+    /// Events recorded, including ones later overwritten in the rings.
+    pub events_recorded: u64,
+    /// Events still retained in the rings.
+    pub events_retained: u64,
+    /// Exact per-reason abort counts (order of [`AbortReason::ALL`]).
+    pub aborts: [u64; 5],
+    /// Merged latency histograms, one entry per (strategy, kind) seen.
+    pub sections: Vec<SectionStats>,
+}
+
+impl ObsSnapshot {
+    /// Sum of the per-reason abort counts.
+    pub fn abort_total(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+}
+
+/// A lock-event recording strategy.
+///
+/// Every method has a no-op default, so a recorder interested in only
+/// one signal (say, abort events) implements exactly that.
+pub trait Recorder: Send + Sync {
+    /// Records one lock event.
+    fn record_event(&self, ev: LockEvent) {
+        let _ = ev;
+    }
+
+    /// Records one completed critical section's latency.
+    fn record_section(&self, strategy: &str, kind: SectionKind, ns: u64) {
+        let _ = (strategy, kind, ns);
+    }
+
+    /// Writes everything recorded so far as JSON Lines.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sink.
+    fn export_jsonl(&self, w: &mut dyn Write) -> io::Result<()> {
+        let _ = w;
+        Ok(())
+    }
+
+    /// A point-in-time copy of the accumulated data.
+    fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot::default()
+    }
+}
+
+/// A recorder that drops everything (the explicit form of "disabled").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: OnceLock<Box<dyn Recorder>> = OnceLock::new();
+
+/// Installs the process-wide recorder. Returns `false` (and drops `r`)
+/// if one is already installed — the recorder is install-once, like a
+/// logger.
+pub fn install(r: Box<dyn Recorder>) -> bool {
+    let installed = RECORDER.set(r).is_ok();
+    if installed {
+        ENABLED.store(true, Ordering::Release);
+    }
+    installed
+}
+
+/// The installed recorder, if any. The `None` case is the advertised
+/// one-branch cost: a single relaxed load.
+#[inline]
+pub fn recorder() -> Option<&'static dyn Recorder> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    RECORDER.get().map(|b| &**b)
+}
+
+/// Records an event if tracing is compiled in **and** a recorder is
+/// installed. The closure runs only in that case, so building the
+/// event costs nothing when disabled.
+#[cfg(feature = "trace")]
+#[inline]
+pub fn emit(make: impl FnOnce() -> LockEvent) {
+    if let Some(r) = recorder() {
+        r.record_event(make());
+    }
+}
+
+/// Tracing is compiled out: the hook vanishes.
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn emit(make: impl FnOnce() -> LockEvent) {
+    let _ = &make;
+}
+
+/// An in-flight section-latency measurement; see [`section_start`].
+#[derive(Debug)]
+#[must_use = "pass the timer to section_end"]
+pub struct SectionTimer {
+    #[cfg(feature = "trace")]
+    start: Option<std::time::Instant>,
+}
+
+/// Starts timing a critical section (a no-op unless `trace` is
+/// compiled in and a recorder is installed).
+#[cfg(feature = "trace")]
+#[inline]
+pub fn section_start() -> SectionTimer {
+    SectionTimer {
+        start: if ENABLED.load(Ordering::Relaxed) {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+/// Tracing is compiled out: the timer is a zero-sized no-op.
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn section_start() -> SectionTimer {
+    SectionTimer {}
+}
+
+/// Finishes a section timing and hands the sample to the recorder.
+#[cfg(feature = "trace")]
+#[inline]
+pub fn section_end(t: SectionTimer, strategy: &'static str, kind: SectionKind) {
+    if let Some(start) = t.start {
+        if let Some(r) = recorder() {
+            r.record_section(strategy, kind, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Tracing is compiled out: the hook vanishes.
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn section_end(t: SectionTimer, strategy: &'static str, kind: SectionKind) {
+    let _ = (t, strategy, kind);
+}
+
+/// Dense observability-local thread ids (obs cannot depend on the
+/// runtime's thread registry — it sits below it in the crate graph).
+fn obs_thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+/// One recording thread's private state: its event ring plus its
+/// per-strategy latency histograms. Everything is written only by the
+/// owning thread (uncontended mutexes) and read by the exporter.
+#[derive(Debug)]
+struct ThreadSlot {
+    thread: u64,
+    ring: CachePadded<EventRing>,
+    /// `(strategy name, [read, write, mostly])`, append-only.
+    hists: Mutex<Vec<(String, [LatencyHistogram; 3])>>,
+}
+
+/// The full-fidelity recorder behind the `obs-trace` builds.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    ring_capacity: usize,
+    slots: Mutex<Vec<Arc<ThreadSlot>>>,
+    /// Exact per-reason abort counts (ring overwrites lose events, not
+    /// these).
+    aborts: [AtomicU64; 5],
+}
+
+thread_local! {
+    static SLOT: std::cell::RefCell<Option<Arc<ThreadSlot>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder with the default per-thread ring capacity.
+    pub fn new() -> Self {
+        Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recorder whose per-thread rings retain `capacity` events.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        TraceRecorder {
+            ring_capacity: capacity,
+            slots: Mutex::new(Vec::new()),
+            aborts: Default::default(),
+        }
+    }
+
+    /// The calling thread's slot, registering it on first use. Only one
+    /// recorder is ever installed per process (see [`install`]), so the
+    /// thread-local cache needs no recorder identity check.
+    fn slot(&self) -> Arc<ThreadSlot> {
+        SLOT.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(slot) = s.as_ref() {
+                return Arc::clone(slot);
+            }
+            let slot = Arc::new(ThreadSlot {
+                thread: obs_thread_id(),
+                ring: CachePadded(EventRing::new(self.ring_capacity)),
+                hists: Mutex::new(Vec::new()),
+            });
+            self.slots.lock().unwrap().push(Arc::clone(&slot));
+            *s = Some(Arc::clone(&slot));
+            slot
+        })
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record_event(&self, mut ev: LockEvent) {
+        let slot = self.slot();
+        ev.thread = slot.thread;
+        if let EventKind::Abort(reason) = ev.kind {
+            let idx = AbortReason::ALL.iter().position(|r| *r == reason).unwrap();
+            self.aborts[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        slot.ring.0.push(ev);
+    }
+
+    fn record_section(&self, strategy: &str, kind: SectionKind, ns: u64) {
+        let slot = self.slot();
+        let mut hists = slot.hists.lock().unwrap();
+        let entry = match hists.iter().position(|(name, _)| name == strategy) {
+            Some(i) => &hists[i],
+            None => {
+                hists.push((strategy.to_string(), Default::default()));
+                hists.last().unwrap()
+            }
+        };
+        entry.1[kind.index()].record_ns(ns);
+    }
+
+    fn snapshot(&self) -> ObsSnapshot {
+        let slots: Vec<Arc<ThreadSlot>> = self.slots.lock().unwrap().clone();
+        let mut snap = ObsSnapshot {
+            threads: slots.len(),
+            ..ObsSnapshot::default()
+        };
+        for (i, a) in self.aborts.iter().enumerate() {
+            snap.aborts[i] = a.load(Ordering::Relaxed);
+        }
+        let mut merged: Vec<(String, [HistSnapshot; 3])> = Vec::new();
+        for slot in &slots {
+            snap.events_recorded += slot.ring.0.recorded() as u64;
+            snap.events_retained += slot.ring.0.drain_ordered().len() as u64;
+            for (name, hists) in slot.hists.lock().unwrap().iter() {
+                let entry = match merged.iter_mut().find(|(n, _)| n == name) {
+                    Some(e) => e,
+                    None => {
+                        merged.push((name.clone(), [HistSnapshot::default(); 3]));
+                        merged.last_mut().unwrap()
+                    }
+                };
+                for (acc, h) in entry.1.iter_mut().zip(hists) {
+                    *acc = acc.merge(&h.snapshot());
+                }
+            }
+        }
+        for (name, kinds) in merged {
+            for k in SectionKind::ALL {
+                let hist = kinds[k.index()];
+                if hist.count() > 0 {
+                    snap.sections.push(SectionStats {
+                        strategy: name.clone(),
+                        kind: k,
+                        hist,
+                    });
+                }
+            }
+        }
+        snap
+    }
+
+    fn export_jsonl(&self, w: &mut dyn Write) -> io::Result<()> {
+        let snap = self.snapshot();
+        writeln!(
+            w,
+            "{}",
+            JsonObject::new()
+                .str("type", "meta")
+                .num("version", 1)
+                .num("threads", snap.threads as u64)
+                .num("events_recorded", snap.events_recorded)
+                .num("events_retained", snap.events_retained)
+                .finish()
+        )?;
+        for (reason, count) in AbortReason::ALL.iter().zip(snap.aborts) {
+            writeln!(
+                w,
+                "{}",
+                JsonObject::new()
+                    .str("type", "abort_summary")
+                    .str("reason", reason.name())
+                    .num("count", count)
+                    .finish()
+            )?;
+        }
+        for s in &snap.sections {
+            writeln!(
+                w,
+                "{}",
+                JsonObject::new()
+                    .str("type", "hist")
+                    .str("strategy", &s.strategy)
+                    .str("section", s.kind.name())
+                    .num("count", s.hist.count())
+                    .float("mean_ns", s.hist.mean())
+                    .num("p50_ns", s.hist.percentile(0.50))
+                    .num("p99_ns", s.hist.percentile(0.99))
+                    .nums("buckets", &s.hist.buckets)
+                    .finish()
+            )?;
+        }
+        let slots: Vec<Arc<ThreadSlot>> = self.slots.lock().unwrap().clone();
+        for slot in &slots {
+            for ev in slot.ring.0.drain_ordered() {
+                let mut o = JsonObject::new()
+                    .str("type", "event")
+                    .num("ts_ns", ev.ts_ns)
+                    .num("thread", ev.thread)
+                    .num("lock", ev.lock)
+                    .str("kind", ev.kind.name());
+                if let EventKind::Abort(reason) = ev.kind {
+                    o = o.str("reason", reason.name());
+                }
+                writeln!(w, "{}", o.finish())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> LockEvent {
+        LockEvent::now(42, kind)
+    }
+
+    #[test]
+    fn trace_recorder_accumulates_events_and_sections() {
+        let r = TraceRecorder::with_ring_capacity(8);
+        r.record_event(ev(EventKind::ElisionAttempt));
+        r.record_event(ev(EventKind::Abort(AbortReason::WordChangedAtExit)));
+        r.record_event(ev(EventKind::Abort(AbortReason::WordChangedAtExit)));
+        r.record_section("SOLERO", SectionKind::Read, 150);
+        r.record_section("SOLERO", SectionKind::Read, 300);
+        r.record_section("SOLERO", SectionKind::Write, 1000);
+        let s = r.snapshot();
+        assert_eq!(s.events_recorded, 3);
+        assert_eq!(s.events_retained, 3);
+        assert_eq!(s.abort_total(), 2);
+        assert_eq!(s.aborts[1], 2, "word_changed_at_exit is reason index 1");
+        let read = s
+            .sections
+            .iter()
+            .find(|x| x.kind == SectionKind::Read)
+            .unwrap();
+        assert_eq!(read.strategy, "SOLERO");
+        assert_eq!(read.hist.count(), 2);
+    }
+
+    #[test]
+    fn multithreaded_recording_lands_in_separate_rings() {
+        let r = Arc::new(TraceRecorder::with_ring_capacity(64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        r.record_event(ev(EventKind::WriteAcquire));
+                        r.record_section("Lock", SectionKind::Write, 500);
+                    }
+                });
+            }
+        });
+        let s = r.snapshot();
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.events_recorded, 40);
+        let w = s
+            .sections
+            .iter()
+            .find(|x| x.kind == SectionKind::Write)
+            .unwrap();
+        assert_eq!(w.hist.count(), 40);
+    }
+
+    #[test]
+    fn export_emits_valid_schema_lines() {
+        let r = TraceRecorder::with_ring_capacity(8);
+        r.record_event(ev(EventKind::Abort(AbortReason::Inflation)));
+        r.record_event(ev(EventKind::FallbackAcquire));
+        r.record_section("RWLock", SectionKind::Mostly, 90);
+        let mut out = Vec::new();
+        r.export_jsonl(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // meta + 5 abort_summary + 1 hist + 2 events
+        assert_eq!(lines.len(), 1 + 5 + 1 + 2, "{text}");
+        for line in lines {
+            crate::schema::validate_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+    }
+
+    #[test]
+    fn null_recorder_snapshot_is_empty() {
+        let r = NullRecorder;
+        r.record_event(ev(EventKind::Release));
+        r.record_section("Lock", SectionKind::Read, 10);
+        let s = r.snapshot();
+        assert_eq!(s.events_recorded, 0);
+        assert_eq!(s.abort_total(), 0);
+        let mut out = Vec::new();
+        r.export_jsonl(&mut out).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Human-readable rendering of an [`ObsSnapshot`].
+//!
+//! The JSONL export is for tooling; this is the thing a person reads
+//! after a run: an abort-reason breakdown (the Figure 15 companion) and
+//! per-strategy latency percentiles.
+
+use std::fmt::Write as _;
+
+use crate::event::AbortReason;
+use crate::recorder::ObsSnapshot;
+
+/// Renders a snapshot as an indented text report.
+pub fn render(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "lock-event observability report");
+    let _ = writeln!(
+        out,
+        "  threads: {}  events: {} recorded, {} retained",
+        snap.threads, snap.events_recorded, snap.events_retained
+    );
+    let total = snap.abort_total();
+    let _ = writeln!(out, "  read aborts by reason ({total} total):");
+    for (reason, &count) in AbortReason::ALL.iter().zip(&snap.aborts) {
+        let share = if total > 0 {
+            100.0 * count as f64 / total as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "    {:<26} {:>10}  {:5.1}%", reason.name(), count, share);
+    }
+    if snap.sections.is_empty() {
+        let _ = writeln!(out, "  section latencies: none recorded");
+    } else {
+        let _ = writeln!(out, "  section latencies (ns):");
+        let _ = writeln!(
+            out,
+            "    {:<20} {:<7} {:>10} {:>10} {:>10} {:>10}",
+            "strategy", "section", "count", "mean", "p50", "p99"
+        );
+        for s in &snap.sections {
+            let _ = writeln!(
+                out,
+                "    {:<20} {:<7} {:>10} {:>10.0} {:>10} {:>10}",
+                s.strategy,
+                s.kind.name(),
+                s.hist.count(),
+                s.hist.mean(),
+                s.hist.percentile(0.50),
+                s.hist.percentile(0.99),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+    use crate::recorder::{SectionKind, SectionStats};
+
+    #[test]
+    fn report_mentions_every_reason() {
+        let mut snap = ObsSnapshot::default();
+        snap.aborts = [5, 4, 3, 2, 1];
+        let h = LatencyHistogram::new();
+        h.record_ns(100);
+        snap.sections.push(SectionStats {
+            strategy: "SOLERO".into(),
+            kind: SectionKind::Read,
+            hist: h.snapshot(),
+        });
+        let text = render(&snap);
+        for r in AbortReason::ALL {
+            assert!(text.contains(r.name()), "missing {}", r.name());
+        }
+        assert!(text.contains("SOLERO"));
+        assert!(text.contains("15 total"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let text = render(&ObsSnapshot::default());
+        assert!(text.contains("none recorded"));
+    }
+}

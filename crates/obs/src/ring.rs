@@ -1,0 +1,124 @@
+//! Bounded per-thread event rings.
+//!
+//! Each recording thread owns one [`EventRing`] wrapped in a
+//! [`CachePadded`] slot, so concurrent recorders never share a cache
+//! line. The ring is bounded: once full, the oldest events are
+//! overwritten — tracing a long run keeps the tail, which is what a
+//! failure post-mortem wants. Pushes by the owning thread and drains by
+//! the exporter are serialized by a per-ring mutex; the owner's lock is
+//! uncontended for the whole run, so a push is one CAS plus a few
+//! stores.
+
+use std::sync::Mutex;
+
+use crate::event::LockEvent;
+
+/// Default ring capacity (events per thread).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Pads the wrapped value to its own 64-byte cache lines (the testkit
+/// `CachePadded` re-implemented here: `solero-obs` sits below the test
+/// substrate in the crate graph and must stay dependency-free).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+#[derive(Debug)]
+struct RingInner {
+    buf: Vec<LockEvent>,
+    /// Next write position (monotonic; slot = head % capacity).
+    head: usize,
+    capacity: usize,
+}
+
+/// A bounded, overwrite-oldest buffer of [`LockEvent`]s.
+#[derive(Debug)]
+pub struct EventRing {
+    inner: Mutex<RingInner>,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            inner: Mutex::new(RingInner {
+                buf: Vec::with_capacity(capacity),
+                head: 0,
+                capacity,
+            }),
+        }
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn push(&self, ev: LockEvent) {
+        let mut r = self.inner.lock().unwrap();
+        let slot = r.head % r.capacity;
+        if r.buf.len() < r.capacity {
+            r.buf.push(ev);
+        } else {
+            r.buf[slot] = ev;
+        }
+        r.head += 1;
+    }
+
+    /// Events recorded since creation (including overwritten ones).
+    pub fn recorded(&self) -> usize {
+        self.inner.lock().unwrap().head
+    }
+
+    /// Copies the retained events out, oldest first.
+    pub fn drain_ordered(&self) -> Vec<LockEvent> {
+        let r = self.inner.lock().unwrap();
+        if r.buf.len() < r.capacity {
+            return r.buf.clone();
+        }
+        let split = r.head % r.capacity;
+        let mut out = Vec::with_capacity(r.capacity);
+        out.extend_from_slice(&r.buf[split..]);
+        out.extend_from_slice(&r.buf[..split]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(lock: u64) -> LockEvent {
+        LockEvent {
+            ts_ns: lock,
+            thread: 0,
+            lock,
+            kind: EventKind::WriteAcquire,
+        }
+    }
+
+    #[test]
+    fn keeps_everything_until_full() {
+        let r = EventRing::new(4);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        let got: Vec<u64> = r.drain_ordered().iter().map(|e| e.lock).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(r.recorded(), 3);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let r = EventRing::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        let got: Vec<u64> = r.drain_ordered().iter().map(|e| e.lock).collect();
+        assert_eq!(got, vec![6, 7, 8, 9], "tail survives, oldest dropped");
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn cache_padding_is_at_least_a_line() {
+        assert!(std::mem::align_of::<CachePadded<EventRing>>() >= 64);
+    }
+}

@@ -1,0 +1,222 @@
+//! JSONL schema validation for the observability export.
+//!
+//! Shared by the recorder's own tests and the `obs_check` CI binary:
+//! both sides agree on the line shapes, so a drive-by format change
+//! fails the offline smoke step instead of silently breaking consumers.
+
+use crate::event::AbortReason;
+use crate::hist::BUCKETS;
+use crate::json::{parse, Value};
+
+/// The line types an export may contain, in the order they appear.
+pub const LINE_TYPES: [&str; 4] = ["meta", "abort_summary", "hist", "event"];
+
+const SECTIONS: [&str; 3] = ["read", "write", "mostly"];
+
+/// Validates one JSONL line against the export schema.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let v = parse(line)?;
+    let o = v.as_obj().ok_or("line is not a JSON object")?;
+    let ty = o
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"type\"")?;
+    match ty {
+        "meta" => {
+            for key in ["version", "threads", "events_recorded", "events_retained"] {
+                require_uint(o, key)?;
+            }
+            Ok(())
+        }
+        "abort_summary" => {
+            let reason = require_str(o, "reason")?;
+            if !AbortReason::ALL.iter().any(|r| r.name() == reason) {
+                return Err(format!("unknown abort reason {reason:?}"));
+            }
+            require_uint(o, "count")?;
+            Ok(())
+        }
+        "hist" => {
+            require_str(o, "strategy")?;
+            let section = require_str(o, "section")?;
+            if !SECTIONS.contains(&section) {
+                return Err(format!("unknown section {section:?}"));
+            }
+            require_uint(o, "count")?;
+            require_uint(o, "p50_ns")?;
+            require_uint(o, "p99_ns")?;
+            match o.get("mean_ns") {
+                Some(Value::Num(_)) | Some(Value::Null) => {}
+                _ => return Err("field \"mean_ns\" must be a number or null".into()),
+            }
+            let buckets = match o.get("buckets") {
+                Some(Value::Arr(a)) => a,
+                _ => return Err("field \"buckets\" must be an array".into()),
+            };
+            if buckets.len() != BUCKETS {
+                return Err(format!(
+                    "\"buckets\" has {} entries, expected {BUCKETS}",
+                    buckets.len()
+                ));
+            }
+            if !buckets.iter().all(|b| matches!(b, Value::Num(n) if *n >= 0.0)) {
+                return Err("\"buckets\" entries must be non-negative numbers".into());
+            }
+            Ok(())
+        }
+        "event" => {
+            for key in ["ts_ns", "thread", "lock"] {
+                require_uint(o, key)?;
+            }
+            let kind = require_str(o, "kind")?;
+            if !KNOWN_KINDS.contains(&kind) {
+                return Err(format!("unknown event kind {kind:?}"));
+            }
+            if kind == "abort" {
+                let reason = require_str(o, "reason")?;
+                if !AbortReason::ALL.iter().any(|r| r.name() == reason) {
+                    return Err(format!("unknown abort reason {reason:?}"));
+                }
+            } else if o.contains_key("reason") {
+                return Err(format!("\"reason\" is only valid on abort events, not {kind:?}"));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown line type {other:?}")),
+    }
+}
+
+/// Every [`EventKind::name`] value.
+const KNOWN_KINDS: [&str; 8] = [
+    "elision_attempt",
+    "abort",
+    "write_acquire",
+    "write_release",
+    "read_acquire",
+    "release",
+    "fallback_acquire",
+    "mostly_upgrade",
+];
+
+fn require_str<'a>(
+    o: &'a std::collections::BTreeMap<String, Value>,
+    key: &str,
+) -> Result<&'a str, String> {
+    o.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn require_uint(o: &std::collections::BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+    let n = o
+        .get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("field {key:?} must be a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::json::JsonObject;
+
+    #[test]
+    fn accepts_each_line_type() {
+        let meta = JsonObject::new()
+            .str("type", "meta")
+            .num("version", 1)
+            .num("threads", 4)
+            .num("events_recorded", 100)
+            .num("events_retained", 100)
+            .finish();
+        validate_line(&meta).unwrap();
+
+        let abort = JsonObject::new()
+            .str("type", "abort_summary")
+            .str("reason", "inflation")
+            .num("count", 3)
+            .finish();
+        validate_line(&abort).unwrap();
+
+        let hist = JsonObject::new()
+            .str("type", "hist")
+            .str("strategy", "SOLERO")
+            .str("section", "read")
+            .num("count", 2)
+            .float("mean_ns", 192.0)
+            .num("p50_ns", 256)
+            .num("p99_ns", 512)
+            .nums("buckets", &[0; BUCKETS])
+            .finish();
+        validate_line(&hist).unwrap();
+
+        let event = JsonObject::new()
+            .str("type", "event")
+            .num("ts_ns", 5)
+            .num("thread", 1)
+            .num("lock", 9)
+            .str("kind", "abort")
+            .str("reason", "locked_at_entry")
+            .finish();
+        validate_line(&event).unwrap();
+    }
+
+    #[test]
+    fn rejects_violations() {
+        assert!(validate_line("not json").is_err());
+        assert!(validate_line("[1,2,3]").is_err());
+        assert!(validate_line(r#"{"type":"mystery"}"#).is_err());
+        assert!(validate_line(r#"{"type":"meta","version":1}"#).is_err());
+        assert!(
+            validate_line(r#"{"type":"abort_summary","reason":"cosmic_rays","count":1}"#).is_err()
+        );
+        // Abort event without a reason.
+        assert!(validate_line(
+            r#"{"type":"event","ts_ns":1,"thread":1,"lock":1,"kind":"abort"}"#
+        )
+        .is_err());
+        // Reason on a non-abort event.
+        assert!(validate_line(
+            r#"{"type":"event","ts_ns":1,"thread":1,"lock":1,"kind":"release","reason":"inflation"}"#
+        )
+        .is_err());
+        // Wrong bucket count.
+        let short = JsonObject::new()
+            .str("type", "hist")
+            .str("strategy", "S")
+            .str("section", "read")
+            .num("count", 0)
+            .float("mean_ns", 0.0)
+            .num("p50_ns", 0)
+            .num("p99_ns", 0)
+            .nums("buckets", &[0; 3])
+            .finish();
+        assert!(validate_line(&short).is_err());
+    }
+
+    #[test]
+    fn known_kinds_match_event_kind_names() {
+        use crate::event::AbortReason::*;
+        let kinds = [
+            EventKind::ElisionAttempt,
+            EventKind::Abort(Inflation),
+            EventKind::WriteAcquire,
+            EventKind::WriteRelease,
+            EventKind::ReadAcquire,
+            EventKind::Release,
+            EventKind::FallbackAcquire,
+            EventKind::MostlyUpgrade,
+        ];
+        for k in kinds {
+            assert!(KNOWN_KINDS.contains(&k.name()), "{} missing", k.name());
+        }
+    }
+}

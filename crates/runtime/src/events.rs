@@ -14,8 +14,8 @@
 //! with a deterministic every-N fallback so validation also happens in
 //! runs without a ticker.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -56,39 +56,85 @@ impl EventSource {
     }
 
     /// Starts a background ticker delivering an event every `period`.
-    /// The returned handle stops the ticker when dropped.
+    /// The returned guard stops **and joins** the ticker when dropped —
+    /// promptly, even mid-period: the ticker waits on a condition
+    /// variable rather than sleeping, so a stop request interrupts the
+    /// wait instead of being noticed only at the next tick.
     pub fn start_ticker(&'static self, period: Duration) -> TickerHandle {
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
+        let shared = Arc::new(TickerShared {
+            stopped: Mutex::new(false),
+            cancel: Condvar::new(),
+        });
+        let shared2 = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("solero-async-events".into())
-            .spawn(move || {
-                while !stop2.load(Ordering::Relaxed) {
-                    std::thread::sleep(period);
-                    EventSource::global().bump();
+            .spawn(move || loop {
+                let mut stopped = shared2
+                    .stopped
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                while !*stopped {
+                    let (g, timeout) = shared2
+                        .cancel
+                        .wait_timeout(stopped, period)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    stopped = g;
+                    if timeout.timed_out() {
+                        break;
+                    }
                 }
+                if *stopped {
+                    return;
+                }
+                drop(stopped);
+                EventSource::global().bump();
             })
             .expect("spawn ticker");
         TickerHandle {
-            stop,
+            shared,
             handle: Some(handle),
         }
     }
 }
 
-/// Stops the background ticker when dropped.
+struct TickerShared {
+    stopped: Mutex<bool>,
+    cancel: Condvar,
+}
+
+/// Shutdown guard for the background ticker: stops and joins the ticker
+/// thread when dropped (or explicitly via [`TickerHandle::stop`]).
 #[derive(Debug)]
 pub struct TickerHandle {
-    stop: Arc<AtomicBool>,
+    shared: Arc<TickerShared>,
     handle: Option<JoinHandle<()>>,
+}
+
+impl TickerHandle {
+    /// Stops the ticker and waits for its thread to exit. Idempotent;
+    /// dropping the handle does the same.
+    pub fn stop(&mut self) {
+        *self
+            .shared
+            .stopped
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.shared.cancel.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 impl Drop for TickerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for TickerShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickerShared").finish_non_exhaustive()
     }
 }
 
@@ -223,6 +269,31 @@ mod tests {
             std::thread::sleep(Duration::from_millis(40));
         }
         assert!(src.epoch() > before);
+    }
+
+    #[test]
+    fn ticker_drop_is_prompt_even_mid_period() {
+        // A 60 s period: if Drop still had to ride out the sleep, this
+        // test would blow the suite's timeout; the Condvar wait makes
+        // cancellation immediate.
+        let src = EventSource::global();
+        let start = std::time::Instant::now();
+        let t = src.start_ticker(Duration::from_secs(60));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(t);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "drop must interrupt the wait, not ride out the period"
+        );
+    }
+
+    #[test]
+    fn ticker_explicit_stop_is_idempotent() {
+        let src = EventSource::global();
+        let mut t = src.start_ticker(Duration::from_secs(60));
+        t.stop();
+        t.stop();
+        drop(t); // stop-again via Drop is also fine
     }
 
     #[test]

@@ -93,6 +93,20 @@ counters! {
     /// Read-mostly sections that upgraded in place to holding the lock
     /// (Figure 17 CAS succeeded).
     mostly_upgrades,
+    /// Speculative read attempts aborted, any reason (sum of the
+    /// `abort_*` counters below).
+    read_aborts,
+    /// Aborts: lock word busy at entry, speculation never started.
+    abort_locked_at_entry,
+    /// Aborts: exit/catch validation saw the captured word change.
+    abort_word_changed_at_exit,
+    /// Aborts: an asynchronous check-point re-validation failed.
+    abort_async_revalidation,
+    /// Aborts: retry budget exhausted, fell back to real acquisition.
+    abort_retry_exhausted,
+    /// Aborts: the lock inflated and the reader went through the
+    /// monitor.
+    abort_inflation,
 }
 
 impl StatsSnapshot {
@@ -110,6 +124,26 @@ impl StatsSnapshot {
         } else {
             self.read_enters as f64 / total as f64
         }
+    }
+
+    /// The abort counters paired with their stable reason names, in
+    /// reporting order. The names match `solero-obs`'s `AbortReason`
+    /// taxonomy so counter-based breakdowns and event traces agree.
+    pub fn abort_reasons(&self) -> [(&'static str, u64); 5] {
+        [
+            ("locked_at_entry", self.abort_locked_at_entry),
+            ("word_changed_at_exit", self.abort_word_changed_at_exit),
+            ("async_revalidation_fail", self.abort_async_revalidation),
+            ("retry_exhausted_fallback", self.abort_retry_exhausted),
+            ("inflation", self.abort_inflation),
+        ]
+    }
+
+    /// Sum of the per-reason abort counters. Invariant: equals
+    /// [`read_aborts`](Self::read_aborts) — every abort is classified
+    /// exactly once.
+    pub fn abort_reason_sum(&self) -> u64 {
+        self.abort_reasons().iter().map(|(_, n)| n).sum()
     }
 
     /// Fraction of speculative executions that failed (Figure 15).
@@ -207,6 +241,32 @@ mod tests {
         s.inflations.fetch_add(7, Ordering::Relaxed);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn abort_reason_sum_matches_fields() {
+        let s = StatsSnapshot {
+            read_aborts: 15,
+            abort_locked_at_entry: 5,
+            abort_word_changed_at_exit: 4,
+            abort_async_revalidation: 3,
+            abort_retry_exhausted: 2,
+            abort_inflation: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.abort_reason_sum(), 15);
+        assert_eq!(s.abort_reason_sum(), s.read_aborts);
+        let names: Vec<&str> = s.abort_reasons().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "locked_at_entry",
+                "word_changed_at_exit",
+                "async_revalidation_fail",
+                "retry_exhausted_fallback",
+                "inflation"
+            ]
+        );
     }
 
     #[test]

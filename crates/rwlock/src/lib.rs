@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
+use solero_obs::{EventKind, LockEvent};
 use solero_runtime::stats::LockStats;
 
 /// Poison-tolerant lock for the park/wake mutex: the mutex only guards
@@ -144,6 +145,12 @@ impl JavaRwLock {
         WriteGuard { lock: self }
     }
 
+    /// Stable lock identity for observability events.
+    #[inline]
+    fn obs_id(&self) -> u64 {
+        self as *const _ as usize as u64
+    }
+
     /// Number of active readers (diagnostics).
     pub fn reader_count(&self) -> u64 {
         self.state.word.load(Ordering::Acquire) & READERS
@@ -169,6 +176,7 @@ impl JavaRwLock {
                     // counter for this lock.
                     let key = self as *const _ as usize;
                     READ_HOLDS.with(|h| *h.borrow_mut().entry(key).or_insert(0) += 1);
+                    solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::ReadAcquire));
                     return;
                 }
                 continue;
@@ -186,6 +194,7 @@ impl JavaRwLock {
 
     #[inline(never)]
     fn read_unlock(&self) {
+        solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::Release));
         let key = self as *const _ as usize;
         READ_HOLDS.with(|h| {
             let mut h = h.borrow_mut();
@@ -216,6 +225,9 @@ impl JavaRwLock {
                     .compare_exchange_weak(w, WRITER, Ordering::AcqRel, Ordering::Relaxed)
                     .is_ok()
                 {
+                    solero_obs::emit(|| {
+                        LockEvent::now(self.obs_id(), EventKind::WriteAcquire)
+                    });
                     return;
                 }
                 continue;
@@ -243,6 +255,7 @@ impl JavaRwLock {
 
     #[inline(never)]
     fn write_unlock(&self) {
+        solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::Release));
         let s = &*self.state;
         let prev = s.word.swap(0, Ordering::AcqRel);
         debug_assert!(prev & WRITER != 0, "write_unlock without writer");

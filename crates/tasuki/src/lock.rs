@@ -16,6 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use solero_obs::{EventKind, LockEvent};
 use solero_runtime::osmonitor::{MonitorTable, OsMonitor};
 use solero_runtime::spin::{Probe, SpinConfig};
 use solero_runtime::stats::LockStats;
@@ -149,9 +150,13 @@ impl TasukiLock {
                 .is_ok()
         {
             self.stats.write_fast.fetch_add(1, Ordering::Relaxed);
+            solero_obs::emit(|| {
+                LockEvent::now(self.monitor_key() as u64, EventKind::WriteAcquire)
+            });
             return;
         }
         self.slow_enter(tid);
+        solero_obs::emit(|| LockEvent::now(self.monitor_key() as u64, EventKind::WriteAcquire));
     }
 
     /// Acquires the lock for a section known to be read-only.
@@ -167,9 +172,13 @@ impl TasukiLock {
                 .compare_exchange(0, ConvWord::held_by(tid).raw(), Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
         {
+            solero_obs::emit(|| {
+                LockEvent::now(self.monitor_key() as u64, EventKind::ReadAcquire)
+            });
             return;
         }
         self.slow_enter(tid);
+        solero_obs::emit(|| LockEvent::now(self.monitor_key() as u64, EventKind::ReadAcquire));
     }
 
     /// Releases one level of the lock on behalf of `tid`.
@@ -178,6 +187,7 @@ impl TasukiLock {
     ///
     /// Panics (in debug builds) if `tid` does not hold the lock.
     pub fn exit(&self, tid: ThreadId) {
+        solero_obs::emit(|| LockEvent::now(self.monitor_key() as u64, EventKind::Release));
         // Figure 2, lines 13–17.
         let v = ConvWord(self.word.load(Ordering::Relaxed));
         if v.fast_releasable() {

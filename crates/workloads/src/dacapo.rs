@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use solero_testkit::rng::TestRng;
-use solero::{Checkpoint, SyncStrategy};
+use solero::{BoxedStrategy, Checkpoint, SyncStrategy};
 use solero_collections::JHashMap;
 use solero_heap::Heap;
 use solero_runtime::stats::StatsSnapshot;
@@ -62,16 +62,39 @@ pub const DACAPO_PROFILES: [DacapoProfile; 4] = [
 /// Each thread owns a table and its lock (application-private state, as
 /// in the lightly contended DaCapo apps); the measured quantity is pure
 /// lock-implementation overhead, which is what Figure 16 compares.
-#[derive(Debug)]
-pub struct DacapoBench<S> {
+pub struct DacapoBench {
     heap: Arc<Heap>,
     profile: DacapoProfile,
-    shards: Vec<(S, JHashMap)>,
+    shards: Vec<(BoxedStrategy, JHashMap)>,
 }
 
-impl<S: SyncStrategy> DacapoBench<S> {
-    /// Builds the benchmark for `threads` application threads.
-    pub fn new(profile: DacapoProfile, threads: usize, make: impl Fn() -> S) -> Self {
+impl std::fmt::Debug for DacapoBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DacapoBench")
+            .field("strategy", &self.name())
+            .field("profile", &self.profile)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DacapoBench {
+    /// Builds the benchmark for `threads` application threads. Generic
+    /// purely for call-site convenience; each shard's lock is boxed
+    /// behind [`BoxedStrategy`].
+    pub fn new<S: SyncStrategy + 'static>(
+        profile: DacapoProfile,
+        threads: usize,
+        make: impl Fn() -> S,
+    ) -> Self {
+        Self::new_boxed(profile, threads, || Box::new(make()))
+    }
+
+    /// Builds the benchmark from an already-boxed strategy factory.
+    pub fn new_boxed(
+        profile: DacapoProfile,
+        threads: usize,
+        make: impl Fn() -> BoxedStrategy,
+    ) -> Self {
         let heap = Arc::new(Heap::new((threads * 32 * 1024).max(1 << 18)));
         let shards = (0..threads)
             .map(|_| {
@@ -105,10 +128,10 @@ impl<S: SyncStrategy> DacapoBench<S> {
         let key = (x % 256) as i64;
         if rng.gen::<f64>() < self.profile.read_only_ratio {
             let _ = strat
-                .read_section(|ck| map.get(&self.heap, key, ck as &mut dyn Checkpoint))
+                .read_with(|ck| map.get(&self.heap, key, ck as &mut dyn Checkpoint))
                 .expect("no genuine faults");
         } else {
-            strat.write_section(|| {
+            strat.write_with(|| {
                 map.put(&self.heap, key, x as i64).expect("writer-side");
             });
         }

@@ -47,7 +47,7 @@ impl<S: SyncStrategy> EmptyBench<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use solero::{LockStrategy, RwLockStrategy, SoleroStrategy};
+    use solero::{LockStrategy, RwLockStrategy, SoleroConfig, SoleroStrategy};
 
     #[test]
     fn empty_op_counts_one_read_section() {
@@ -65,7 +65,13 @@ mod tests {
     fn all_strategies_execute_the_empty_block() {
         EmptyBench::new(LockStrategy::new()).op();
         EmptyBench::new(RwLockStrategy::new()).op();
-        EmptyBench::new(SoleroStrategy::unelided()).op();
-        EmptyBench::new(SoleroStrategy::weak_barrier()).op();
+        EmptyBench::new(SoleroStrategy::configured(
+            SoleroConfig::builder().unelided(true).build(),
+        ))
+        .op();
+        EmptyBench::new(SoleroStrategy::configured(
+            SoleroConfig::builder().weak_barrier(true).build(),
+        ))
+        .op();
     }
 }

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 use solero_testkit::rng::TestRng;
-use solero::{Checkpoint, SyncStrategy};
+use solero::{BoxedStrategy, Checkpoint, SyncStrategy};
 use solero_collections::{JHashMap, JTreeMap};
 use solero_heap::Heap;
 use solero_runtime::stats::StatsSnapshot;
@@ -27,25 +27,40 @@ const CUSTOMERS: i64 = 400;
 /// Orders a delivery transaction drains.
 const DELIVERY_BATCH: usize = 10;
 
-#[derive(Debug)]
-struct Warehouse<S> {
-    lock: S,
+struct Warehouse {
+    lock: BoxedStrategy,
     items: JHashMap,
     customers: JHashMap,
     orders: JTreeMap,
     next_order: AtomicI64,
 }
 
-/// The mini-SPECjbb benchmark over a strategy.
-#[derive(Debug)]
-pub struct JbbBench<S> {
+/// The mini-SPECjbb benchmark over a boxed, dynamically-dispatched
+/// strategy.
+pub struct JbbBench {
     heap: Arc<Heap>,
-    warehouses: Vec<Warehouse<S>>,
+    warehouses: Vec<Warehouse>,
 }
 
-impl<S: SyncStrategy> JbbBench<S> {
-    /// Builds `warehouses` warehouses, each with its own lock.
-    pub fn new(warehouses: usize, make: impl Fn() -> S) -> Self {
+impl std::fmt::Debug for JbbBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JbbBench")
+            .field("strategy", &self.name())
+            .field("warehouses", &self.warehouses.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JbbBench {
+    /// Builds `warehouses` warehouses, each with its own lock. Generic
+    /// purely for call-site convenience; each lock is boxed behind
+    /// [`BoxedStrategy`].
+    pub fn new<S: SyncStrategy + 'static>(warehouses: usize, make: impl Fn() -> S) -> Self {
+        Self::new_boxed(warehouses, || Box::new(make()))
+    }
+
+    /// Builds the benchmark from an already-boxed strategy factory.
+    pub fn new_boxed(warehouses: usize, make: impl Fn() -> BoxedStrategy) -> Self {
         let words = (warehouses * 64 * 1024).max(1 << 20);
         let heap = Arc::new(Heap::new(words));
         let whs = (0..warehouses)
@@ -93,12 +108,12 @@ impl<S: SyncStrategy> JbbBench<S> {
 
     /// NewOrder: price lookups (read-only) then order insertion and
     /// district update (writing).
-    fn new_order(&self, w: &Warehouse<S>, rng: &mut TestRng) {
+    fn new_order(&self, w: &Warehouse, rng: &mut TestRng) {
         let heap = &self.heap;
         let lines: Vec<i64> = (0..3).map(|_| rng.gen_range(0..ITEMS)).collect();
         let total: i64 = w
             .lock
-            .read_section(|ck| {
+            .read_with(|ck| {
                 let mut sum = 0;
                 for &i in &lines {
                     sum += w
@@ -109,23 +124,23 @@ impl<S: SyncStrategy> JbbBench<S> {
                 Ok(sum)
             })
             .expect("no genuine faults");
-        w.lock.write_section(|| {
+        w.lock.write_with(|| {
             let id = w.next_order.fetch_add(1, Ordering::Relaxed);
             w.orders.put(heap, id, total).expect("writer-side");
         });
     }
 
     /// Payment: customer balance read (read-only) then update (writing).
-    fn payment(&self, w: &Warehouse<S>, rng: &mut TestRng) {
+    fn payment(&self, w: &Warehouse, rng: &mut TestRng) {
         let heap = &self.heap;
         let c = rng.gen_range(0..CUSTOMERS);
         let amount = rng.gen_range(1..50i64);
         let balance = w
             .lock
-            .read_section(|ck| w.customers.get(heap, c, ck as &mut dyn Checkpoint))
+            .read_with(|ck| w.customers.get(heap, c, ck as &mut dyn Checkpoint))
             .expect("no genuine faults")
             .unwrap_or(0);
-        w.lock.write_section(|| {
+        w.lock.write_with(|| {
             w.customers
                 .put(heap, c, balance - amount)
                 .expect("writer-side");
@@ -133,12 +148,12 @@ impl<S: SyncStrategy> JbbBench<S> {
     }
 
     /// CustomerReport: customer record plus recent orders (read-only).
-    fn customer_report(&self, w: &Warehouse<S>, rng: &mut TestRng) {
+    fn customer_report(&self, w: &Warehouse, rng: &mut TestRng) {
         let heap = &self.heap;
         let c = rng.gen_range(0..CUSTOMERS);
         let _ = w
             .lock
-            .read_section(|ck| {
+            .read_with(|ck| {
                 let bal = w.customers.get(heap, c, ck as &mut dyn Checkpoint)?;
                 let recent = w
                     .orders
@@ -149,20 +164,20 @@ impl<S: SyncStrategy> JbbBench<S> {
     }
 
     /// OrderStatus: look an order up (read-only).
-    fn order_status(&self, w: &Warehouse<S>, rng: &mut TestRng) {
+    fn order_status(&self, w: &Warehouse, rng: &mut TestRng) {
         let heap = &self.heap;
         let hi = w.next_order.load(Ordering::Relaxed).max(1);
         let id = rng.gen_range(0..hi);
         let _ = w
             .lock
-            .read_section(|ck| w.orders.floor_key(heap, id, ck as &mut dyn Checkpoint))
+            .read_with(|ck| w.orders.floor_key(heap, id, ck as &mut dyn Checkpoint))
             .expect("no genuine faults");
     }
 
     /// Delivery: drain the oldest orders (writing).
-    fn delivery(&self, w: &Warehouse<S>) {
+    fn delivery(&self, w: &Warehouse) {
         let heap = &self.heap;
-        w.lock.write_section(|| {
+        w.lock.write_with(|| {
             for _ in 0..DELIVERY_BATCH {
                 let first = w
                     .orders
@@ -179,12 +194,12 @@ impl<S: SyncStrategy> JbbBench<S> {
     }
 
     /// StockLevel: scan a handful of items (read-only).
-    fn stock_level(&self, w: &Warehouse<S>, rng: &mut TestRng) {
+    fn stock_level(&self, w: &Warehouse, rng: &mut TestRng) {
         let heap = &self.heap;
         let base = rng.gen_range(0..ITEMS - 5);
         let _ = w
             .lock
-            .read_section(|ck| {
+            .read_with(|ck| {
                 let mut sum = 0;
                 for i in base..base + 5 {
                     sum += w

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use solero_testkit::rng::TestRng;
-use solero::{Checkpoint, Fault, SyncStrategy};
+use solero::{BoxedStrategy, Checkpoint, Fault, SyncStrategy};
 use solero_collections::{JHashMap, JTreeMap};
 use solero_heap::Heap;
 use solero_runtime::stats::StatsSnapshot;
@@ -85,23 +85,38 @@ impl AnyMap {
     }
 }
 
-#[derive(Debug)]
-struct Shard<S> {
-    strat: S,
+struct Shard {
+    strat: BoxedStrategy,
     map: AnyMap,
 }
 
-/// The map benchmark over a strategy.
-#[derive(Debug)]
-pub struct MapBench<S> {
+/// The map benchmark over a boxed, dynamically-dispatched strategy, so
+/// heterogeneous strategy fleets share one monomorphization.
+pub struct MapBench {
     heap: Arc<Heap>,
-    shards: Vec<Shard<S>>,
+    shards: Vec<Shard>,
     cfg: MapConfig,
 }
 
-impl<S: SyncStrategy> MapBench<S> {
-    /// Builds and pre-populates the maps.
-    pub fn new(cfg: MapConfig, make: impl Fn() -> S) -> Self {
+impl std::fmt::Debug for MapBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapBench")
+            .field("strategy", &self.name())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MapBench {
+    /// Builds and pre-populates the maps. Generic over the concrete
+    /// strategy purely for call-site convenience: the shards box each
+    /// instance behind [`BoxedStrategy`].
+    pub fn new<S: SyncStrategy + 'static>(cfg: MapConfig, make: impl Fn() -> S) -> Self {
+        Self::new_boxed(cfg, || Box::new(make()))
+    }
+
+    /// Builds the benchmark from an already-boxed strategy factory.
+    pub fn new_boxed(cfg: MapConfig, make: impl Fn() -> BoxedStrategy) -> Self {
         // Size the heap for entries plus write-churn headroom.
         let words = (cfg.entries as usize * cfg.shards * 24 + (1 << 16))
             .next_power_of_two()
@@ -138,7 +153,7 @@ impl<S: SyncStrategy> MapBench<S> {
             // nodes churn (recycled handles are what speculative readers
             // trip over, as in a real JVM heap).
             let v = rng.gen::<i64>() | 1;
-            shard.strat.write_section(|| {
+            shard.strat.write_with(|| {
                 if v & 2 == 0 {
                     shard.map.remove(&self.heap, key).expect("writer-side");
                     shard.map.put(&self.heap, key, v).expect("writer-side");
@@ -150,7 +165,7 @@ impl<S: SyncStrategy> MapBench<S> {
             // Read-only critical section.
             let got = shard
                 .strat
-                .read_section(|ck| shard.map.get(&self.heap, key, ck as &mut dyn Checkpoint))
+                .read_with(|ck| shard.map.get(&self.heap, key, ck as &mut dyn Checkpoint))
                 .expect("reads cannot genuinely fault here");
             std::hint::black_box(got);
         }
@@ -184,7 +199,7 @@ impl<S: SyncStrategy> MapBench<S> {
 /// Convenience: a read-mostly variant where writes go through the §5
 /// read-mostly path instead of a separate writing section — used by the
 /// extension example and the ablation bench.
-impl<S: SyncStrategy> MapBench<S> {
+impl MapBench {
     /// One operation routed entirely through `mostly_section`: reads
     /// stay speculative, the occasional write upgrades in place.
     pub fn op_mostly(&self, rng: &mut TestRng) {
@@ -194,7 +209,7 @@ impl<S: SyncStrategy> MapBench<S> {
         let v = rng.gen::<i64>() | 1;
         shard
             .strat
-            .mostly_section(|ck| {
+            .mostly_with(|ck| {
                 let cur = shard.map.get(&self.heap, key, ck as &mut dyn Checkpoint)?;
                 if write {
                     ck.ensure_write()?;
@@ -211,7 +226,7 @@ mod tests {
     use super::*;
     use solero::{LockStrategy, RwLockStrategy, SoleroStrategy};
 
-    fn smoke<S: SyncStrategy>(make: impl Fn() -> S, kind: MapKind, write_pct: u32) {
+    fn smoke<S: SyncStrategy + 'static>(make: impl Fn() -> S, kind: MapKind, write_pct: u32) {
         let b = MapBench::new(
             MapConfig {
                 kind,

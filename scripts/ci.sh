@@ -22,6 +22,16 @@ cargo test -q --offline --workspace
 echo "== tier-1: bench targets compile behind the criterion feature =="
 cargo build -q --offline -p solero-bench --benches --features criterion
 
+echo "== tier-1: obs suite with tracing enabled =="
+cargo test -q --offline -p solero-obs --features trace
+
+echo "== tier-1: obs smoke (trace, export, schema check) =="
+cargo build -q --offline -p solero-bench --features obs-trace \
+    --bin obs_smoke --bin obs_check
+rm -f results/obs.jsonl
+./target/debug/obs_smoke > /dev/null
+./target/debug/obs_check results/obs.jsonl
+
 # Replay the concurrency stress and property suites under a pinned seed
 # matrix: different roots exercise different schedules/cases, and every
 # one of them is reproducible by exporting the printed seed.

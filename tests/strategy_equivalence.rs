@@ -4,7 +4,8 @@
 
 use solero_testkit::rng::TestRng;
 use solero::{
-    Checkpoint, LockStrategy, NullCheckpoint, RwLockStrategy, SoleroStrategy, SyncStrategy,
+    Checkpoint, LockStrategy, NullCheckpoint, RwLockStrategy, SoleroConfig, SoleroStrategy,
+    SyncStrategy,
 };
 use solero_collections::{JHashMap, JTreeMap};
 use solero_heap::Heap;
@@ -54,7 +55,10 @@ fn same_sequence_same_state_across_strategies() {
         let a = drive(&LockStrategy::new(), seed);
         let b = drive(&RwLockStrategy::new(), seed);
         let c = drive(&SoleroStrategy::new(), seed);
-        let d = drive(&SoleroStrategy::unelided(), seed);
+        let d = drive(
+            &SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build()),
+            seed,
+        );
         assert_eq!(a, b, "Lock vs RWLock diverged (seed {seed})");
         assert_eq!(a, c, "Lock vs SOLERO diverged (seed {seed})");
         assert_eq!(a, d, "Lock vs Unelided-SOLERO diverged (seed {seed})");
