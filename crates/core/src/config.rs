@@ -83,24 +83,6 @@ impl SoleroConfig {
         }
     }
 
-    /// The paper's `Unelided-SOLERO` ablation.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SoleroConfig::builder().unelided(true).build()"
-    )]
-    pub fn unelided() -> Self {
-        Self::builder().unelided(true).build()
-    }
-
-    /// The paper's `WeakBarrier-SOLERO` ablation (incorrect fences,
-    /// measured to isolate memory-ordering overhead).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SoleroConfig::builder().weak_barrier(true).build()"
-    )]
-    pub fn weak_barrier() -> Self {
-        Self::builder().weak_barrier(true).build()
-    }
 }
 
 /// Builds a [`SoleroConfig`] starting from the paper's defaults; the
@@ -183,19 +165,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the thin wrappers must keep working for one PR
-    fn ablation_constructors() {
-        assert_eq!(SoleroConfig::unelided().elision, ElisionMode::NoElide);
-        assert_eq!(SoleroConfig::weak_barrier().barrier, BarrierMode::Weak);
-        // The wrappers are exactly the builder spellings.
-        assert_eq!(
-            SoleroConfig::unelided(),
-            SoleroConfig::builder().unelided(true).build()
-        );
-        assert_eq!(
-            SoleroConfig::weak_barrier(),
-            SoleroConfig::builder().weak_barrier(true).build()
-        );
+    fn ablation_spellings() {
+        let unelided = SoleroConfig::builder().unelided(true).build();
+        assert_eq!(unelided.elision, ElisionMode::NoElide);
+        let weak = SoleroConfig::builder().weak_barrier(true).build();
+        assert_eq!(weak.barrier, BarrierMode::Weak);
     }
 
     #[test]

@@ -65,6 +65,8 @@
 mod config;
 mod dynstrategy;
 mod lock;
+#[cfg(solero_mc)]
+pub mod mutation;
 mod read;
 mod session;
 mod strategy;

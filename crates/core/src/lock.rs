@@ -12,9 +12,10 @@
 //! The read-side paths (Figures 7–9 and the Figure 17 read-mostly
 //! extension) live in [`crate::read`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use solero_sync::atomic::{AtomicU64, Ordering};
 
 use solero_obs::{AbortReason, EventKind, LockEvent};
 use solero_runtime::osmonitor::{MonitorTable, OsMonitor};
@@ -249,7 +250,7 @@ impl SoleroLock {
         if v2.fast_releasable() {
             debug_assert_eq!(v2.tid(), Some(tid), "release by non-owner");
             self.word
-                .store(ticket.v1.wrapping_add(COUNTER_STEP), Ordering::Release);
+                .store(self.release_word(ticket.v1), Ordering::Release);
             return;
         }
         self.slow_exit_write(tid, ticket, v2);
@@ -483,9 +484,24 @@ impl SoleroLock {
         let m = self.monitor();
         m.enter(tid);
         self.word
-            .store(ticket.v1.wrapping_add(COUNTER_STEP), Ordering::Release);
+            .store(self.release_word(ticket.v1), Ordering::Release);
         m.notify_all();
         m.exit(tid);
+    }
+
+    /// Figure 6, line 18: the word a flat write release publishes —
+    /// the pre-acquire value with the version counter advanced, which
+    /// is what aborts any reader that overlapped the write section.
+    ///
+    /// Under `--cfg solero_mc` this is a mutation point the model
+    /// checker must kill (see `crate::mutation`).
+    #[inline]
+    fn release_word(&self, v1: u64) -> u64 {
+        #[cfg(solero_mc)]
+        if crate::mutation::active() == crate::mutation::STUCK_COUNTER {
+            return v1;
+        }
+        v1.wrapping_add(COUNTER_STEP)
     }
 
     /// Final fat release: deflates (publishing the displaced counter)

@@ -1,0 +1,43 @@
+//! Protocol mutations for checking the checker (only compiled under
+//! `--cfg solero_mc`).
+//!
+//! Each mutation weakens exactly one load/store the elision protocol
+//! depends on. The model checker (`solero-mc`) must *kill* every
+//! mutation — find a schedule where the weakened protocol hands a
+//! torn or stale result to a validated read-only section — and the
+//! unmutated protocol must survive the same search. A mutation the
+//! checker cannot kill would mean the scenarios are too weak to trust.
+//!
+//! The switch is a plain `std` atomic on purpose: flipping it must not
+//! create scheduling points or happens-before edges of its own.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// No mutation: the protocol as shipped.
+pub const NONE: u8 = 0;
+/// Figure 7 line 6 removed: a read-only section exits successfully
+/// without re-reading the lock word, so a concurrent write section is
+/// never detected.
+pub const SKIP_EXIT_REREAD: u8 = 1;
+/// The exit re-read is demoted from `Acquire` to `Relaxed`, allowing
+/// it to observe a stale (pre-write) lock word and validate a torn
+/// read.
+pub const WEAK_EXIT_LOAD: u8 = 2;
+/// `exit_write` releases by storing `v1` instead of
+/// `v1 + COUNTER_STEP`: the lock unlocks but the version counter does
+/// not advance, so an elided reader spanning the whole write section
+/// ABA-validates.
+pub const STUCK_COUNTER: u8 = 3;
+
+static ACTIVE: AtomicU8 = AtomicU8::new(NONE);
+
+/// Activates `mutation` process-wide (pass [`NONE`] to restore the
+/// real protocol). Intended to bracket a single checker run.
+pub fn set(mutation: u8) {
+    ACTIVE.store(mutation, Ordering::SeqCst);
+}
+
+/// The currently active mutation.
+pub fn active() -> u8 {
+    ACTIVE.load(Ordering::SeqCst)
+}

@@ -15,7 +15,7 @@
 //!    re-execute non-speculatively (starvation freedom).
 
 
-use std::sync::atomic::Ordering;
+use solero_sync::atomic::Ordering;
 
 use solero_obs::{AbortReason, EventKind, LockEvent};
 use solero_runtime::fault::Fault;
@@ -140,7 +140,7 @@ impl SoleroLock {
             if let Ok(r) = out {
                 if !s.held {
                     self.config.barrier.read_exit_fence();
-                    if s.v == self.word.load(Ordering::Acquire) {
+                    if self.exit_validates(s.v) {
                         self.stats.elision_success.fetch_add(1, Ordering::Relaxed);
                         return Ok(r);
                     }
@@ -196,6 +196,26 @@ impl SoleroLock {
         }
     }
 
+    /// Figure 7, line 6: the exit re-read. A speculative section is
+    /// valid iff the lock word it observed at entry is still the
+    /// current word — an `Acquire` load so everything the last writer
+    /// published is visible before we vouch for the result.
+    ///
+    /// Under `--cfg solero_mc` this is also the mutation point the
+    /// model checker must kill (see `crate::mutation`).
+    #[inline]
+    fn exit_validates(&self, v: u64) -> bool {
+        #[cfg(solero_mc)]
+        match crate::mutation::active() {
+            crate::mutation::SKIP_EXIT_REREAD => return true,
+            crate::mutation::WEAK_EXIT_LOAD => {
+                return v == self.word.load(Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        v == self.word.load(Ordering::Acquire)
+    }
+
     /// Post-processing of one execution attempt: exit validation
     /// (Figure 7 lines 6–14) and the catch-block fault triage (§3.3).
     #[cold]
@@ -209,7 +229,7 @@ impl SoleroLock {
                 }
                 // Figure 7, line 6: validate.
                 self.config.barrier.read_exit_fence();
-                if v == self.word.load(Ordering::Acquire) {
+                if self.exit_validates(v) {
                     self.stats.elision_success.fetch_add(1, Ordering::Relaxed);
                     return Settled::Done(Ok(r));
                 }

@@ -9,7 +9,7 @@
 //! lock variable* and implements those check-points; [`MostlySession`]
 //! adds the Figure 17 in-place upgrade for read-mostly sections.
 
-use std::sync::atomic::Ordering;
+use solero_sync::atomic::Ordering;
 
 use solero_obs::{EventKind, LockEvent};
 use solero_runtime::events::EventPoll;

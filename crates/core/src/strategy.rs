@@ -265,24 +265,6 @@ impl SoleroStrategy {
         }
     }
 
-    /// The `Unelided-SOLERO` ablation (Figure 10).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build())"
-    )]
-    pub fn unelided() -> Self {
-        Self::configured(SoleroConfig::builder().unelided(true).build())
-    }
-
-    /// The `WeakBarrier-SOLERO` ablation (Figure 10).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SoleroStrategy::configured(SoleroConfig::builder().weak_barrier(true).build())"
-    )]
-    pub fn weak_barrier() -> Self {
-        Self::configured(SoleroConfig::builder().weak_barrier(true).build())
-    }
-
     /// The underlying lock.
     pub fn lock(&self) -> &SoleroLock {
         &self.lock
@@ -364,13 +346,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the thin wrappers must keep working for one PR
     fn all_strategies_run_the_same_workload() {
         exercise(&LockStrategy::new());
         exercise(&RwLockStrategy::new());
         exercise(&SoleroStrategy::new());
-        exercise(&SoleroStrategy::unelided());
-        exercise(&SoleroStrategy::weak_barrier());
+        exercise(&SoleroStrategy::configured(
+            SoleroConfig::builder().unelided(true).build(),
+        ));
+        exercise(&SoleroStrategy::configured(
+            SoleroConfig::builder().weak_barrier(true).build(),
+        ));
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! inconsistency surfaces as a typed [`Fault`] exactly as it surfaces as
 //! an exception in the paper's JVM.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use solero_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use solero_sync::{Mutex, MutexGuard};
+use std::sync::PoisonError;
 
 use solero_runtime::fault::Fault;
 

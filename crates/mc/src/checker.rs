@@ -1,0 +1,273 @@
+//! The execution driver: runs a scenario under a chooser repeatedly
+//! until the schedule space is exhausted, a budget runs out, or an
+//! invariant fails. Only built under `--cfg solero_mc` because it
+//! needs the instrumented runtime in `solero-sync::rt`.
+
+use std::fmt;
+use std::sync::{Arc, Mutex as StdMutex};
+
+use solero_sync::model::{format_trace, parse_trace, Chooser, Opts};
+use solero_sync::rt::run_execution;
+use solero_testkit::TestRng;
+
+use crate::explore::{DfsChooser, DfsCore, RandomChooser, ReplayChooser};
+
+/// Virtual-thread spawn for scenarios, re-exported so checker tests
+/// only need to depend on `solero-mc`.
+pub use solero_sync::rt::spawn;
+
+#[derive(Clone)]
+enum Mode {
+    Exhaustive,
+    Random { seed: u64, executions: u64 },
+    Replay { trace: Vec<u32> },
+}
+
+/// Summary of a passing check.
+#[derive(Debug, Clone)]
+pub struct McStats {
+    /// Executions actually run.
+    pub executions: u64,
+    /// Executions cut short (step limit or timed-wait budget); their
+    /// suffixes were not explored.
+    pub truncated: u64,
+    /// True when exhaustive mode drained the whole bounded space.
+    pub complete: bool,
+}
+
+/// A failed check: the invariant message plus the schedule that
+/// produced it, as a replayable trace string.
+#[derive(Debug, Clone)]
+pub struct McViolation {
+    /// Scenario name as passed to [`Checker::check`].
+    pub name: String,
+    /// The failure (assertion message, deadlock report, …).
+    pub message: String,
+    /// Dot-separated decision trace; feed to [`Checker::replay`].
+    pub trace: String,
+    /// How many executions ran before this one failed (inclusive).
+    pub executions: u64,
+}
+
+impl fmt::Display for McViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mc[{}] violation after {} execution(s): {}\n  \
+             trace: {}\n  \
+             replay: Checker::replay(\"{}\").check(\"{}\", ...)",
+            self.name, self.executions, self.message, self.trace, self.trace, self.name
+        )
+    }
+}
+
+impl std::error::Error for McViolation {}
+
+/// Configurable scenario checker. Construct with [`Checker::exhaustive`],
+/// [`Checker::random`] or [`Checker::replay`], then [`Checker::check`].
+pub struct Checker {
+    mode: Mode,
+    preemption_bound: Option<u32>,
+    max_steps: u64,
+    timeout_budget: u32,
+    max_executions: u64,
+}
+
+impl Checker {
+    /// Bounded-exhaustive DFS over all schedules (default preemption
+    /// bound 2 — raise via [`Checker::preemption_bound`]).
+    pub fn exhaustive() -> Self {
+        Checker {
+            mode: Mode::Exhaustive,
+            preemption_bound: Some(2),
+            max_steps: 20_000,
+            timeout_budget: 3,
+            max_executions: 200_000,
+        }
+    }
+
+    /// Seeded random schedule sampling: `executions` walks, execution
+    /// `i` derived from `(seed, i)` so any single walk is reproducible.
+    /// `SOLERO_MC_SEED` overrides `seed` at run time.
+    pub fn random(seed: u64, executions: u64) -> Self {
+        Checker {
+            mode: Mode::Random { seed, executions },
+            preemption_bound: Some(3),
+            max_steps: 20_000,
+            timeout_budget: 3,
+            max_executions: u64::MAX,
+        }
+    }
+
+    /// Replays one recorded schedule, e.g. the `trace` of a
+    /// [`McViolation`].
+    ///
+    /// # Panics
+    /// On a malformed trace string.
+    pub fn replay(trace: &str) -> Self {
+        let trace = parse_trace(trace).unwrap_or_else(|e| panic!("bad trace: {e}"));
+        Checker {
+            mode: Mode::Replay { trace },
+            preemption_bound: None,
+            max_steps: 20_000,
+            timeout_budget: 3,
+            max_executions: 1,
+        }
+    }
+
+    /// Preemption budget per schedule (`None` = unbounded).
+    pub fn preemption_bound(mut self, bound: Option<u32>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Per-execution scheduling-step limit before truncation.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// How many times a timed wait may "time out" before its thread is
+    /// considered unable to make progress that way.
+    pub fn timeout_budget(mut self, n: u32) -> Self {
+        self.timeout_budget = n;
+        self
+    }
+
+    /// Hard cap on executions (exhaustive mode safety valve).
+    /// `SOLERO_MC_BUDGET` overrides it at run time.
+    pub fn max_executions(mut self, n: u64) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Runs `scenario` under this checker's exploration mode. The
+    /// scenario must be self-contained and deterministic apart from
+    /// scheduling: build state, spawn virtual threads via
+    /// [`spawn`], join them, assert invariants.
+    pub fn check<F>(&self, name: &str, scenario: F) -> Result<McStats, McViolation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+        let opts = Opts {
+            max_steps: self.max_steps,
+            timeout_budget: self.timeout_budget,
+        };
+        let budget = env_u64("SOLERO_MC_BUDGET").unwrap_or(self.max_executions);
+
+        let mut executions = 0u64;
+        let mut truncated = 0u64;
+
+        match &self.mode {
+            Mode::Exhaustive => {
+                let core = Arc::new(StdMutex::new(DfsCore::new(self.preemption_bound)));
+                let complete = loop {
+                    core.lock().unwrap().begin();
+                    let chooser: Box<dyn Chooser> = Box::new(DfsChooser(core.clone()));
+                    let res = run_execution(&opts, chooser, scenario.clone());
+                    executions += 1;
+                    truncated += res.truncated as u64;
+                    if let Some(message) = res.failure {
+                        return Err(violation(name, message, &res.trace, executions));
+                    }
+                    if core.lock().unwrap().advance() {
+                        break true;
+                    }
+                    if executions >= budget {
+                        break false;
+                    }
+                };
+                let stats = McStats {
+                    executions,
+                    truncated,
+                    complete,
+                };
+                report(name, "exhaustive", &stats);
+                Ok(stats)
+            }
+            Mode::Random { seed, executions: n } => {
+                let seed = env_u64("SOLERO_MC_SEED").unwrap_or(*seed);
+                let n = (*n).min(budget);
+                for i in 0..n {
+                    let rng = TestRng::derive(seed, i);
+                    let chooser: Box<dyn Chooser> =
+                        Box::new(RandomChooser::new(rng, self.preemption_bound));
+                    let res = run_execution(&opts, chooser, scenario.clone());
+                    executions += 1;
+                    truncated += res.truncated as u64;
+                    if let Some(message) = res.failure {
+                        return Err(violation(name, message, &res.trace, executions));
+                    }
+                }
+                let stats = McStats {
+                    executions,
+                    truncated,
+                    complete: false,
+                };
+                report(name, &format!("random seed={seed:#x}"), &stats);
+                Ok(stats)
+            }
+            Mode::Replay { trace } => {
+                let chooser: Box<dyn Chooser> = Box::new(ReplayChooser::new(trace.clone()));
+                let res = run_execution(&opts, chooser, scenario.clone());
+                if let Some(message) = res.failure {
+                    return Err(violation(name, message, &res.trace, 1));
+                }
+                let stats = McStats {
+                    executions: 1,
+                    truncated: res.truncated as u64,
+                    complete: false,
+                };
+                report(name, "replay", &stats);
+                Ok(stats)
+            }
+        }
+    }
+}
+
+fn violation(name: &str, message: String, trace: &[u32], executions: u64) -> McViolation {
+    McViolation {
+        name: name.to_string(),
+        message,
+        trace: format_trace(trace),
+        executions,
+    }
+}
+
+fn report(name: &str, mode: &str, stats: &McStats) {
+    println!(
+        "mc[{name}] {mode}: {} execution(s), {} truncated{}",
+        stats.executions,
+        stats.truncated,
+        if stats.complete { ", space exhausted" } else { "" }
+    );
+}
+
+/// `true` when `SOLERO_MC_BUDGET` caps executions for this process.
+///
+/// A deliberately capped run cannot promise that a bounded search
+/// space was exhausted or that exploration covered any particular
+/// schedule — tests gate such assertions on this, so the CI budget
+/// knob never turns a passing suite into a failing one.
+pub fn budget_overridden() -> bool {
+    env_u64("SOLERO_MC_BUDGET").is_some()
+}
+
+/// Parses a decimal or `0x`-prefixed hex u64 from the environment.
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var} must be a decimal or 0x-hex u64, got {raw:?}"),
+    }
+}

@@ -1,0 +1,370 @@
+//! Schedule-space exploration strategies.
+//!
+//! Everything here is pure bookkeeping over [`Decision`] values and is
+//! compiled (and unit-tested) in every build; only the driver that
+//! actually runs executions ([`crate::Checker`]) needs the
+//! `--cfg solero_mc` runtime.
+//!
+//! The exhaustive mode is a stateless DFS over schedule prefixes with
+//! *iterative context bounding* (Musuvathi & Qadeer): at every thread
+//! decision the currently running thread is tried first, and switching
+//! away from a still-enabled thread (a *preemption*) is only explored
+//! while the per-schedule preemption budget lasts. Most concurrency
+//! bugs need very few preemptions, so a small bound covers the
+//! interesting schedules at a fraction of the unbounded cost.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use solero_sync::model::{Chooser, Decision};
+use solero_testkit::TestRng;
+
+/// The options a chooser may take at `d`, in exploration order, given
+/// how many preemptions the schedule has already spent.
+///
+/// * Value decisions: newest store first (the sequentially consistent
+///   answer), then increasingly stale candidates.
+/// * Thread decisions: the current thread first when it is still
+///   enabled; other threads only while the budget lasts. When the
+///   current thread cannot continue, every switch is forced (free).
+pub fn allowed_options(d: &Decision, preemptions: u32, bound: Option<u32>) -> Vec<u32> {
+    match d {
+        Decision::Value { candidates } => (0..*candidates).rev().collect(),
+        Decision::Thread { current, enabled } => {
+            match enabled.iter().position(|&t| t == *current) {
+                Some(p) => {
+                    let mut opts = vec![p as u32];
+                    if bound.map_or(true, |b| preemptions < b) {
+                        opts.extend((0..enabled.len() as u32).filter(|&i| i != p as u32));
+                    }
+                    opts
+                }
+                None => (0..enabled.len() as u32).collect(),
+            }
+        }
+    }
+}
+
+/// True if taking `option` at `d` preempts a thread that could have
+/// kept running.
+pub fn is_preemption(d: &Decision, option: u32) -> bool {
+    match d {
+        Decision::Value { .. } => false,
+        Decision::Thread { current, enabled } => {
+            enabled.contains(current) && enabled[option as usize] != *current
+        }
+    }
+}
+
+struct BranchRec {
+    /// Option indices in exploration order (fixed at first visit).
+    options: Vec<u32>,
+    /// Which of `options` the current execution takes.
+    next: usize,
+}
+
+/// Persistent state of the exhaustive DFS, shared across executions.
+pub struct DfsCore {
+    bound: Option<u32>,
+    path: Vec<BranchRec>,
+    depth: usize,
+    preemptions: u32,
+    complete: bool,
+}
+
+impl DfsCore {
+    pub fn new(bound: Option<u32>) -> Self {
+        DfsCore {
+            bound,
+            path: Vec::new(),
+            depth: 0,
+            preemptions: 0,
+            complete: false,
+        }
+    }
+
+    /// Resets the per-execution cursor. Call before each execution.
+    pub fn begin(&mut self) {
+        self.depth = 0;
+        self.preemptions = 0;
+    }
+
+    /// Resolves one decision: replays the recorded prefix, then
+    /// extends the path depth-first.
+    pub fn choose(&mut self, d: &Decision) -> u32 {
+        if self.depth == self.path.len() {
+            let options = allowed_options(d, self.preemptions, self.bound);
+            debug_assert!(!options.is_empty());
+            self.path.push(BranchRec { options, next: 0 });
+        }
+        let rec = &self.path[self.depth];
+        let opt = rec.options[rec.next];
+        assert!(
+            opt < d.options(),
+            "DFS prefix diverged: option {opt} of {} at depth {} — \
+             the scenario is not deterministic under replay",
+            d.options(),
+            self.depth
+        );
+        self.depth += 1;
+        if is_preemption(d, opt) {
+            self.preemptions += 1;
+        }
+        opt
+    }
+
+    /// Moves to the next unexplored schedule. Returns `true` when the
+    /// (bounded) space is exhausted.
+    pub fn advance(&mut self) -> bool {
+        debug_assert!(self.depth == self.path.len(), "execution ended mid-prefix");
+        self.path.truncate(self.depth);
+        loop {
+            match self.path.last_mut() {
+                None => {
+                    self.complete = true;
+                    return true;
+                }
+                Some(rec) => {
+                    rec.next += 1;
+                    if rec.next < rec.options.len() {
+                        return false;
+                    }
+                    self.path.pop();
+                }
+            }
+        }
+    }
+
+    /// True once [`DfsCore::advance`] reported exhaustion.
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
+}
+
+/// Per-execution handle onto a shared [`DfsCore`].
+pub struct DfsChooser(pub Arc<Mutex<DfsCore>>);
+
+impl Chooser for DfsChooser {
+    fn choose(&mut self, d: &Decision) -> u32 {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .choose(d)
+    }
+}
+
+/// Seeded random walk over the (budget-filtered) options. Each
+/// execution gets its own chooser derived from `(root_seed, index)`,
+/// so a sampling run is reproducible execution-by-execution.
+pub struct RandomChooser {
+    rng: TestRng,
+    bound: Option<u32>,
+    preemptions: u32,
+}
+
+impl RandomChooser {
+    pub fn new(rng: TestRng, bound: Option<u32>) -> Self {
+        RandomChooser {
+            rng,
+            bound,
+            preemptions: 0,
+        }
+    }
+}
+
+impl Chooser for RandomChooser {
+    fn choose(&mut self, d: &Decision) -> u32 {
+        let opts = allowed_options(d, self.preemptions, self.bound);
+        let opt = opts[self.rng.gen_range(0..opts.len())];
+        if is_preemption(d, opt) {
+            self.preemptions += 1;
+        }
+        opt
+    }
+}
+
+/// Replays a recorded trace exactly.
+pub struct ReplayChooser {
+    trace: Vec<u32>,
+    pos: usize,
+}
+
+impl ReplayChooser {
+    pub fn new(trace: Vec<u32>) -> Self {
+        ReplayChooser { trace, pos: 0 }
+    }
+}
+
+impl Chooser for ReplayChooser {
+    fn choose(&mut self, d: &Decision) -> u32 {
+        assert!(
+            self.pos < self.trace.len(),
+            "replay ran past the recorded trace ({} decisions): \
+             the scenario is not deterministic",
+            self.trace.len()
+        );
+        let opt = self.trace[self.pos];
+        assert!(
+            opt < d.options(),
+            "replay mismatch at decision {}: trace says {opt}, only {} options",
+            self.pos,
+            d.options()
+        );
+        self.pos += 1;
+        opt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thread(current: u32, enabled: &[u32]) -> Decision {
+        Decision::Thread {
+            current,
+            enabled: enabled.to_vec(),
+        }
+    }
+
+    #[test]
+    fn current_thread_explored_first() {
+        let opts = allowed_options(&thread(1, &[0, 1, 2]), 0, Some(2));
+        assert_eq!(opts, vec![1, 0, 2], "current (index 1) first");
+    }
+
+    #[test]
+    fn budget_exhausted_pins_current() {
+        let opts = allowed_options(&thread(1, &[0, 1, 2]), 2, Some(2));
+        assert_eq!(opts, vec![1], "no preemptions left");
+    }
+
+    #[test]
+    fn forced_switch_is_free() {
+        // Current thread blocked: all switches allowed even at budget 0.
+        let opts = allowed_options(&thread(1, &[0, 2]), 5, Some(0));
+        assert_eq!(opts, vec![0, 1]);
+        assert!(!is_preemption(&thread(1, &[0, 2]), 0));
+    }
+
+    #[test]
+    fn value_options_prefer_newest() {
+        let opts = allowed_options(&Decision::Value { candidates: 3 }, 0, Some(0));
+        assert_eq!(opts, vec![2, 1, 0]);
+        assert!(!is_preemption(&Decision::Value { candidates: 3 }, 0));
+    }
+
+    #[test]
+    fn preemption_definition() {
+        let d = thread(0, &[0, 1]);
+        assert!(!is_preemption(&d, 0));
+        assert!(is_preemption(&d, 1));
+    }
+
+    /// Drives the DFS against a synthetic 2-decision tree and checks it
+    /// enumerates exactly the full cross product, each schedule once.
+    #[test]
+    fn dfs_enumerates_small_tree() {
+        let mut core = DfsCore::new(None);
+        let d1 = thread(0, &[0, 1]);
+        let d2 = Decision::Value { candidates: 3 };
+        let mut seen = Vec::new();
+        loop {
+            core.begin();
+            let a = core.choose(&d1);
+            let b = core.choose(&d2);
+            seen.push((a, b));
+            if core.advance() {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 6, "2 × 3 schedules");
+        let mut uniq = seen.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 6, "no duplicates: {seen:?}");
+        assert!(core.complete());
+    }
+
+    /// With bound 0 the second thread is never explored while thread 0
+    /// can run: only the no-preemption schedule exists.
+    #[test]
+    fn dfs_respects_preemption_bound() {
+        let mut core = DfsCore::new(Some(0));
+        let d = thread(0, &[0, 1]);
+        let mut schedules = 0;
+        loop {
+            core.begin();
+            // Three consecutive decisions where thread 0 stays enabled.
+            for _ in 0..3 {
+                assert_eq!(core.choose(&d), 0);
+            }
+            schedules += 1;
+            if core.advance() {
+                break;
+            }
+        }
+        assert_eq!(schedules, 1);
+    }
+
+    /// Bound 1: schedules are "run thread 0, preempt at most once".
+    #[test]
+    fn dfs_bound_one_counts() {
+        let mut core = DfsCore::new(Some(1));
+        let d = thread(0, &[0, 1]);
+        let mut schedules = 0;
+        loop {
+            core.begin();
+            let mut preempted = false;
+            for _ in 0..3 {
+                let c = core.choose(&d);
+                if c == 1 {
+                    assert!(!preempted, "second preemption explored despite bound 1");
+                    preempted = true;
+                }
+            }
+            schedules += 1;
+            if core.advance() {
+                break;
+            }
+        }
+        // Preempt at decision 0, 1, 2, or never.
+        assert_eq!(schedules, 4);
+    }
+
+    #[test]
+    fn replay_follows_trace() {
+        let mut r = ReplayChooser::new(vec![1, 0, 2]);
+        assert_eq!(r.choose(&thread(0, &[0, 1])), 1);
+        assert_eq!(r.choose(&thread(1, &[0, 1])), 0);
+        assert_eq!(r.choose(&Decision::Value { candidates: 3 }), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ran past the recorded trace")]
+    fn replay_panics_past_trace() {
+        let mut r = ReplayChooser::new(vec![0]);
+        let d = thread(0, &[0, 1]);
+        r.choose(&d);
+        r.choose(&d);
+    }
+
+    #[test]
+    fn random_chooser_is_deterministic_per_seed() {
+        let d = thread(0, &[0, 1, 2]);
+        let run = |seed| {
+            let mut c = RandomChooser::new(TestRng::seed_from_u64(seed), Some(4));
+            (0..16).map(|_| c.choose(&d)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn random_chooser_respects_bound() {
+        let d = thread(0, &[0, 1]);
+        let mut c = RandomChooser::new(TestRng::seed_from_u64(3), Some(2));
+        let picks: Vec<u32> = (0..64).map(|_| c.choose(&d)).collect();
+        assert!(
+            picks.iter().filter(|&&p| p == 1).count() <= 2,
+            "at most 2 preemptions: {picks:?}"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Checking the checker: each protocol mutation in `solero::mutation`
+//! weakens one load/store the elision protocol depends on, and the
+//! model checker must find a schedule that catches it — then replay
+//! that schedule deterministically. If a mutation survived, the
+//! scenarios would be too weak to trust.
+//!
+//! This lives in its own test binary (its own process) because the
+//! mutation switch is process-global: the scenarios in
+//! `tests/protocol.rs` must never run mutated.
+//!
+//! Build with `RUSTFLAGS="--cfg solero_mc"` (see scripts/ci.sh).
+#![cfg(solero_mc)]
+
+use std::sync::Arc;
+
+use solero::{mutation, Fault, SoleroConfig, SoleroLock};
+use solero_heap::{ClassId, Heap};
+use solero_mc::{spawn, Checker};
+use solero_runtime::spin::SpinConfig;
+
+const PAIR: ClassId = ClassId::new(7);
+
+/// The torn-pair scenario from tests/protocol.rs: one writer keeping
+/// `slot0 == slot1`, one elided reader asserting it saw them equal.
+fn torn_pair_scenario() {
+    let heap = Arc::new(Heap::new(64));
+    let obj = heap.alloc(PAIR, 2).expect("scenario heap is large enough");
+    heap.store(obj, 0, 10).unwrap();
+    heap.store(obj, 1, 10).unwrap();
+    let lock = Arc::new(SoleroLock::with_config(
+        SoleroConfig::builder().spin(SpinConfig::immediate()).build(),
+    ));
+
+    let writer = {
+        let (heap, lock) = (Arc::clone(&heap), Arc::clone(&lock));
+        spawn(move || {
+            lock.write(|| {
+                let a = heap.load(obj, PAIR, 0).unwrap();
+                heap.store(obj, 0, a + 1).unwrap();
+                let b = heap.load(obj, PAIR, 1).unwrap();
+                heap.store(obj, 1, b + 1).unwrap();
+            });
+        })
+    };
+    let reader = {
+        let (heap, lock) = (Arc::clone(&heap), Arc::clone(&lock));
+        spawn(move || {
+            let pair = lock
+                .read_only(|_| {
+                    let a = heap.load(obj, PAIR, 0)?;
+                    let b = heap.load(obj, PAIR, 1)?;
+                    Ok::<_, Fault>((a, b))
+                })
+                .expect("no genuine faults in this scenario");
+            assert_eq!(pair.0, pair.1, "validated torn read {pair:?}");
+        })
+    };
+    writer.join();
+    reader.join();
+}
+
+/// The same invariant over *plain* cells: the read section loads two
+/// `solero-sync` atomics with `Relaxed` ordering — the model of the
+/// paper's ordinary Java field reads, whose safety rests entirely on
+/// exit validation. The heap scenario cannot kill `WEAK_EXIT_LOAD`:
+/// its data loads are `Acquire`, so a reader that observed torn data
+/// has already synchronized with the writer's lock-word store, and
+/// per-location coherence then forbids even a `Relaxed` exit load
+/// from returning the stale word. With plain data reads no such
+/// rescue exists, and the exit load's `Acquire` is load-bearing.
+fn relaxed_cells_scenario() {
+    use solero_sync::atomic::{AtomicU64, Ordering};
+
+    let a = Arc::new(AtomicU64::new(10));
+    let b = Arc::new(AtomicU64::new(10));
+    let lock = Arc::new(SoleroLock::with_config(
+        SoleroConfig::builder().spin(SpinConfig::immediate()).build(),
+    ));
+
+    let writer = {
+        let (a, b, lock) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&lock));
+        spawn(move || {
+            lock.write(|| {
+                a.store(11, Ordering::Relaxed);
+                b.store(11, Ordering::Relaxed);
+            });
+        })
+    };
+    let reader = {
+        let (a, b, lock) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&lock));
+        spawn(move || {
+            let pair = lock
+                .read_only(|_| {
+                    Ok::<_, Fault>((a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)))
+                })
+                .expect("no genuine faults in this scenario");
+            assert_eq!(pair.0, pair.1, "validated torn read {pair:?}");
+        })
+    };
+    writer.join();
+    reader.join();
+}
+
+/// Bound 2 suffices: every mutant below dies within two preemptions
+/// (see the per-mutation notes), and the smaller space keeps the
+/// whole harness inside the CI budget.
+fn checker() -> Checker {
+    Checker::exhaustive().preemption_bound(Some(2))
+}
+
+/// One test (not one per mutation) so the process-global mutation
+/// switch is flipped from a single thread, strictly sequentially.
+#[test]
+fn every_mutation_is_killed() {
+    let scenarios: [(&str, fn()); 2] = [
+        ("torn_pair", torn_pair_scenario),
+        ("relaxed_cells", relaxed_cells_scenario),
+    ];
+
+    // Baseline: the unmutated protocol survives the same searches
+    // that must kill every mutant.
+    for (sname, scenario) in scenarios {
+        let stats = checker()
+            .check(&format!("baseline_{sname}"), scenario)
+            .expect("unmutated protocol must pass the mutation-kill search");
+        assert!(
+            stats.complete || solero_mc::budget_overridden(),
+            "baseline search must exhaust its space"
+        );
+    }
+
+    // Each mutation paired with a scenario that observes it:
+    //  * skip_exit_reread — reader validates mid-write torn heap pair
+    //    (2 preemptions: reader pauses after slot 0, writer updates
+    //    slot 0, reader finishes and skips the re-read).
+    //  * weak_exit_load — relaxed cells; the stale lock word rescues a
+    //    torn pair through the weakened validation load.
+    //  * stuck_counter — writer's whole section hides between the
+    //    reader's two loads (1 preemption): the word never advanced,
+    //    so validation ABA-passes a torn pair.
+    let kills: [(&str, u8, fn()); 3] = [
+        ("skip_exit_reread", mutation::SKIP_EXIT_REREAD, torn_pair_scenario),
+        ("weak_exit_load", mutation::WEAK_EXIT_LOAD, relaxed_cells_scenario),
+        ("stuck_counter", mutation::STUCK_COUNTER, torn_pair_scenario),
+    ];
+
+    for (name, m, scenario) in kills {
+        mutation::set(m);
+        let violation = match checker().check(name, scenario) {
+            Err(v) => v,
+            // A capped search makes no kill promise (the kills above
+            // need up to ~1.7k executions); don't fail the suite when
+            // the operator deliberately shrank the budget.
+            Ok(_) if solero_mc::budget_overridden() => {
+                eprintln!("mc[{name}] kill skipped: SOLERO_MC_BUDGET capped the search");
+                mutation::set(mutation::NONE);
+                continue;
+            }
+            Ok(_) => panic!("mutation {name} survived a full search"),
+        };
+        println!("killed {name}: {violation}");
+        assert!(
+            violation.message.contains("torn read"),
+            "{name} must die on the torn-read assert, got: {violation}"
+        );
+
+        // The printed trace replays to the same failure, twice.
+        for _ in 0..2 {
+            let replayed = Checker::replay(&violation.trace)
+                .check(name, scenario)
+                .expect_err("recorded trace must reproduce the kill");
+            assert_eq!(replayed.message, violation.message, "{name} replay diverged");
+        }
+
+        mutation::set(mutation::NONE);
+    }
+
+    // And with the switch back off, the protocol passes again.
+    checker()
+        .check("baseline_after", torn_pair_scenario)
+        .expect("protocol must pass once mutations are reset");
+}

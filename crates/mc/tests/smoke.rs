@@ -1,0 +1,237 @@
+//! Scheduler shakedown: tiny scenarios with known answers, exercising
+//! the virtual-thread runtime before the real protocol checks.
+//!
+//! Build with `RUSTFLAGS="--cfg solero_mc"` (see scripts/ci.sh).
+#![cfg(solero_mc)]
+
+use std::sync::Arc;
+
+use solero_mc::{spawn, Checker};
+use solero_sync::atomic::{AtomicU64, Ordering};
+use solero_sync::{Condvar, Mutex};
+
+/// A two-thread load-then-store increment race: the checker must find
+/// the lost-update schedule, and replaying its trace must reproduce it.
+#[test]
+fn finds_lost_update_race() {
+    let scenario = || {
+        let c = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    };
+
+    let violation = match Checker::exhaustive().check("lost_update", scenario) {
+        Err(v) => v,
+        // A capped search makes no find promise.
+        Ok(_) if solero_mc::budget_overridden() => return,
+        Ok(_) => panic!("exhaustive search must find the lost update"),
+    };
+    assert!(violation.message.contains("lost update"), "{violation}");
+
+    // The recorded schedule replays to the same failure.
+    let replayed = Checker::replay(&violation.trace)
+        .check("lost_update", scenario)
+        .expect_err("replay must reproduce the violation");
+    assert_eq!(replayed.message, violation.message);
+
+    // And replays are stable run-to-run.
+    let again = Checker::replay(&violation.trace)
+        .check("lost_update", scenario)
+        .expect_err("second replay must also reproduce it");
+    assert_eq!(again.trace, replayed.trace);
+}
+
+/// The same increments through a shimmed Mutex: no schedule loses one.
+#[test]
+fn mutex_excludes() {
+    let stats = Checker::exhaustive()
+        .check("mutex_excludes", || {
+            let c = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    spawn(move || {
+                        *c.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(*c.lock().unwrap(), 2);
+        })
+        .expect("mutex increments must be atomic");
+    assert!(
+        stats.complete || solero_mc::budget_overridden(),
+        "2-thread space should be exhausted"
+    );
+}
+
+/// CAS-based increments: compare_exchange retry loops never lose one.
+#[test]
+fn cas_increments_never_lost() {
+    Checker::exhaustive()
+        .check("cas_increment", || {
+            let c = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    spawn(move || loop {
+                        let v = c.load(Ordering::Acquire);
+                        if c
+                            .compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        })
+        .expect("CAS loop must not lose increments");
+}
+
+/// Classic condvar handoff with a predicate loop: correct under every
+/// schedule, including notify-before-wait.
+#[test]
+fn condvar_handoff() {
+    Checker::exhaustive()
+        .check("condvar_handoff", || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let setter = {
+                let pair = Arc::clone(&pair);
+                spawn(move || {
+                    *pair.0.lock().unwrap() = true;
+                    pair.1.notify_one();
+                })
+            };
+            let waiter = {
+                let pair = Arc::clone(&pair);
+                spawn(move || {
+                    let mut g = pair.0.lock().unwrap();
+                    while !*g {
+                        g = pair.1.wait(g).unwrap();
+                    }
+                })
+            };
+            setter.join();
+            waiter.join();
+        })
+        .expect("predicate-loop condvar handoff is schedule-proof");
+}
+
+/// ABBA lock ordering: the checker must report the deadlock.
+#[test]
+fn detects_abba_deadlock() {
+    let result = Checker::exhaustive()
+        .check("abba", || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let t1 = {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                spawn(move || {
+                    let _ga = a.lock().unwrap();
+                    let _gb = b.lock().unwrap();
+                })
+            };
+            let t2 = {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                spawn(move || {
+                    let _gb = b.lock().unwrap();
+                    let _ga = a.lock().unwrap();
+                })
+            };
+            t1.join();
+            t2.join();
+        });
+    match result {
+        Err(violation) => {
+            assert!(violation.message.contains("deadlock"), "{violation}");
+        }
+        Ok(_) if solero_mc::budget_overridden() => {}
+        Ok(_) => panic!("ABBA must deadlock under some schedule"),
+    }
+}
+
+/// Relaxed loads may observe stale values: a message-passing idiom
+/// with relaxed flag ordering must fail, the Acquire/Release version
+/// must pass. This exercises the Value-decision branch of the model.
+#[test]
+fn relaxed_message_passing_breaks_release_holds() {
+    let mp = |flag_store: Ordering, flag_load: Ordering| {
+        move || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let producer = {
+                let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+                spawn(move || {
+                    d.store(42, Ordering::Relaxed);
+                    f.store(1, flag_store);
+                })
+            };
+            let consumer = {
+                let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+                spawn(move || {
+                    if f.load(flag_load) == 1 {
+                        assert_eq!(d.load(Ordering::Relaxed), 42, "stale data after flag");
+                    }
+                })
+            };
+            producer.join();
+            consumer.join();
+        }
+    };
+
+    match Checker::exhaustive().check("mp_relaxed", mp(Ordering::Relaxed, Ordering::Relaxed)) {
+        Err(v) => assert!(v.message.contains("stale data"), "{v}"),
+        Ok(_) if solero_mc::budget_overridden() => {}
+        Ok(_) => panic!("relaxed flag must leak stale data"),
+    }
+
+    Checker::exhaustive()
+        .check("mp_release_acquire", mp(Ordering::Release, Ordering::Acquire))
+        .expect("release/acquire flag forbids stale data");
+}
+
+/// Seeded random mode is reproducible and obeys SOLERO_MC_BUDGET-style
+/// caps via the builder.
+#[test]
+fn random_mode_runs() {
+    let stats = Checker::random(0x5EED_0001, 50)
+        .check("random_mutex", || {
+            let c = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    spawn(move || {
+                        *c.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(*c.lock().unwrap(), 3);
+        })
+        .expect("mutex increments hold under random schedules");
+    assert!(
+        stats.executions == 50 || solero_mc::budget_overridden(),
+        "all 50 sampled schedules ran, got {}",
+        stats.executions
+    );
+}

@@ -14,8 +14,16 @@
 //! changed value across any inflate/deflate cycle (paper §3.2).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock, PoisonError};
+
+// The monitor itself synchronizes protocol-visible state, so it lives
+// on the `solero-sync` facade (std in normal builds, instrumented under
+// `--cfg solero_mc`). The table below, by contrast, is lookup plumbing
+// the paper's protocol never races on; it stays on raw `std` so monitor
+// cache lookups do not pollute the model checker's state space.
+use solero_sync::atomic::{AtomicU64, Ordering};
+use solero_sync::{Condvar, Mutex, MutexGuard};
 
 use crate::thread::ThreadId;
 
@@ -24,6 +32,10 @@ use crate::thread::ThreadId;
 /// should still see consistent counters rather than cascade poison
 /// panics through unrelated threads.
 fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn plock_std<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -302,15 +314,15 @@ const SHARDS: usize = 16;
 /// ```
 #[derive(Debug)]
 pub struct MonitorTable {
-    shards: Vec<Mutex<HashMap<usize, Arc<OsMonitor>>>>,
-    next_id: AtomicU64,
+    shards: Vec<StdMutex<HashMap<usize, Arc<OsMonitor>>>>,
+    next_id: StdAtomicU64,
 }
 
 impl MonitorTable {
     fn new() -> Self {
         MonitorTable {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            next_id: AtomicU64::new(1),
+            shards: (0..SHARDS).map(|_| StdMutex::new(HashMap::new())).collect(),
+            next_id: StdAtomicU64::new(1),
         }
     }
 
@@ -321,13 +333,13 @@ impl MonitorTable {
     }
 
     #[inline]
-    fn shard(&self, key: usize) -> &Mutex<HashMap<usize, Arc<OsMonitor>>> {
+    fn shard(&self, key: usize) -> &StdMutex<HashMap<usize, Arc<OsMonitor>>> {
         &self.shards[(key >> 4) % SHARDS]
     }
 
     /// Returns the monitor for `key`, creating one on first use.
     pub fn monitor_for(&self, key: usize) -> Arc<OsMonitor> {
-        let mut g = plock(self.shard(key));
+        let mut g = plock_std(self.shard(key));
         if let Some(m) = g.get(&key) {
             return Arc::clone(m);
         }
@@ -340,12 +352,12 @@ impl MonitorTable {
     /// Drops the association for `key`. Called when a lock is destroyed
     /// so a future lock at the same address starts fresh.
     pub fn remove(&self, key: usize) {
-        plock(self.shard(key)).remove(&key);
+        plock_std(self.shard(key)).remove(&key);
     }
 
     /// Number of live associations (for tests and diagnostics).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| plock(s).len()).sum()
+        self.shards.iter().map(|s| plock_std(s).len()).sum()
     }
 
     /// True if the table holds no associations.

@@ -24,8 +24,9 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use solero_sync::atomic::{AtomicU64, Ordering};
+use solero_sync::{Condvar, Mutex, MutexGuard};
+use std::sync::PoisonError;
 use std::time::Duration;
 
 use solero_obs::{EventKind, LockEvent};

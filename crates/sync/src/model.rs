@@ -1,0 +1,159 @@
+//! Scheduler-facing data model, compiled in **every** build.
+//!
+//! The cooperative runtime ([`crate::rt`]) only exists under
+//! `--cfg solero_mc`, but the vocabulary it speaks — decision points,
+//! choosers, execution results, the printed trace format — is plain
+//! data. Keeping it cfg-free lets `solero-mc` compile (and unit-test
+//! its DFS/replay logic) in ordinary builds, so the tier-1 suite
+//! exercises the explorer's control logic without the shims.
+
+/// Hard cap on virtual threads per execution. Small on purpose: the
+/// schedule space is exponential in thread count, and every scenario
+/// the checkers run fits in 3–4 threads.
+pub const MAX_THREADS: usize = 8;
+
+/// One point in an execution where more than one continuation exists.
+///
+/// The scheduler consults the [`Chooser`] *only* when there are at
+/// least two options; forced steps are not decisions and do not appear
+/// in the trace. That keeps traces short and makes replay independent
+/// of how many single-option steps surround each real choice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Pick which virtual thread runs next.
+    Thread {
+        /// Slot of the thread that just yielded (it may or may not be
+        /// in `enabled`; when it is not, any choice is a forced switch
+        /// rather than a preemption).
+        current: u32,
+        /// Slots currently able to run, in ascending slot order.
+        enabled: Vec<u32>,
+    },
+    /// Pick which store a `Relaxed` load observes (index into the
+    /// candidate window, oldest first; the last index is the newest
+    /// store, i.e. the sequentially consistent answer).
+    Value {
+        /// Number of candidate stores (always ≥ 2 when consulted).
+        candidates: u32,
+    },
+}
+
+impl Decision {
+    /// Number of options at this decision.
+    pub fn options(&self) -> u32 {
+        match self {
+            Decision::Thread { enabled, .. } => enabled.len() as u32,
+            Decision::Value { candidates } => *candidates,
+        }
+    }
+}
+
+/// Strategy that resolves decision points. Implemented by the DFS,
+/// seeded-random and replay choosers in `solero-mc`.
+pub trait Chooser: Send {
+    /// Returns the index of the option to take (`< d.options()`).
+    fn choose(&mut self, d: &Decision) -> u32;
+}
+
+/// Per-execution limits and knobs.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Abort (as a truncation, not a failure) after this many
+    /// scheduling points. Bounds schedules that live-lock, e.g. a
+    /// timed waiter firing its timeout in a loop.
+    pub max_steps: u64,
+    /// How many times each timed wait may wake by timeout before it is
+    /// treated as an untimed wait. Timed waits are the protocol's
+    /// liveness backstop (FLC re-checks); an unbounded model of them
+    /// would branch forever.
+    pub timeout_budget: u32,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            max_steps: 4_000,
+            timeout_budget: 3,
+        }
+    }
+}
+
+/// Outcome of one execution under a chooser.
+#[derive(Clone, Debug, Default)]
+pub struct ExecResult {
+    /// First invariant violation observed (assertion message, deadlock
+    /// description, …). `None` for a clean or truncated execution.
+    pub failure: Option<String>,
+    /// Option index taken at every decision point, in order. Feeding
+    /// this back through a replay chooser reproduces the execution.
+    pub trace: Vec<u32>,
+    /// The execution hit `max_steps` or exhausted every timeout budget
+    /// and was cut short. Not a failure: the explored prefix is valid.
+    pub truncated: bool,
+    /// Scheduling points executed.
+    pub steps: u64,
+}
+
+/// Renders a trace as the printed, replayable string form: option
+/// indices joined by `.` (empty trace ⇒ `"-"`, an execution with no
+/// choice at all).
+pub fn format_trace(trace: &[u32]) -> String {
+    if trace.is_empty() {
+        "-".to_string()
+    } else {
+        trace
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+/// Parses the string form produced by [`format_trace`].
+pub fn parse_trace(s: &str) -> Result<Vec<u32>, String> {
+    let s = s.trim();
+    if s.is_empty() || s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split('.')
+        .map(|part| {
+            part.parse::<u32>()
+                .map_err(|e| format!("bad trace element {part:?}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrip() {
+        for t in [vec![], vec![0], vec![3, 0, 1, 2, 10]] {
+            assert_eq!(parse_trace(&format_trace(&t)).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn empty_trace_prints_dash() {
+        assert_eq!(format_trace(&[]), "-");
+        assert_eq!(parse_trace("-").unwrap(), Vec::<u32>::new());
+        assert_eq!(parse_trace("").unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn bad_trace_reports_element() {
+        let err = parse_trace("1.x.2").unwrap_err();
+        assert!(err.contains("\"x\""), "{err}");
+    }
+
+    #[test]
+    fn decision_option_counts() {
+        let t = Decision::Thread {
+            current: 0,
+            enabled: vec![0, 2],
+        };
+        assert_eq!(t.options(), 2);
+        assert_eq!(Decision::Value { candidates: 3 }.options(), 3);
+    }
+}

@@ -1,0 +1,872 @@
+//! Cooperative virtual-thread runtime (compiled under `--cfg solero_mc`).
+//!
+//! One *execution* runs a scenario closure on a set of virtual threads
+//! (each backed by a real OS thread, but exactly one runnable at a
+//! time). Every instrumented operation ([`crate::shim`]) is a
+//! *scheduling point*: the runtime consults the [`Chooser`] for which
+//! virtual thread runs next, and — for `Relaxed` loads — which store
+//! the load observes. Because the scenario is deterministic given those
+//! choices, the recorded choice list (the *trace*) replays the
+//! execution exactly.
+//!
+//! ## Memory model
+//!
+//! Sequential consistency for everything except `Relaxed` loads, which
+//! may observe stale stores: each location keeps a bounded store
+//! history with the storing thread's vector clock, and a `Relaxed`
+//! load branches over every store newer than both (a) the newest store
+//! that happens-before the loader and (b) anything the loader already
+//! observed at that location (per-thread coherence floor, which also
+//! guarantees a thread reads its own writes). This is deliberately a
+//! *subset* of C++11 weak behaviours — enough to catch an
+//! acquire→relaxed weakening on the SOLERO exit validation — not a
+//! full axiomatic model (see DESIGN.md §9 and the ROADMAP).
+//!
+//! ## Blocking
+//!
+//! Shimmed `Mutex`/`Condvar` block *in the model*: a blocked virtual
+//! thread is simply not enabled. Untimed condvar waits are enabled
+//! only once notified; timed waits may additionally fire their timeout
+//! up to [`Opts::timeout_budget`] times (the protocol uses timed waits
+//! as a liveness backstop, so an exhausted budget makes the execution
+//! a *truncation*, never a reported deadlock). A real deadlock — no
+//! enabled thread and no exhausted timed waiter — is a failure.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+};
+
+use crate::model::{Chooser, Decision, ExecResult, Opts, MAX_THREADS};
+
+/// Panic payload used to tear a virtual thread down once the execution
+/// aborted (failure found, or truncation). Never reported as a panic.
+pub struct McAbort;
+
+fn teardown() -> ! {
+    std::panic::panic_any(McAbort)
+}
+
+// ---------------------------------------------------------------- clocks
+
+/// Fixed-width vector clock, one component per virtual-thread slot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+    fn le(&self, other: &VClock) -> bool {
+        (0..MAX_THREADS).all(|i| self.0[i] <= other.0[i])
+    }
+    fn tick(&mut self, me: usize) {
+        self.0[me] += 1;
+    }
+}
+
+// ------------------------------------------------------------- locations
+
+/// Cap on the per-location store history. Older stores fall off the
+/// front (raising every reader's floor), which bounds both memory and
+/// the `Relaxed`-load branching factor late in an execution.
+const STORE_CAP: usize = 16;
+
+struct StoreRec {
+    val: u64,
+    clock: VClock,
+    release: bool,
+}
+
+struct LocState {
+    /// Absolute index of `stores[0]` (history may be truncated).
+    base: usize,
+    stores: Vec<StoreRec>,
+    /// Per-thread coherence floor: absolute index of the newest store
+    /// this thread has observed (read from or written) here.
+    seen: [usize; MAX_THREADS],
+}
+
+impl LocState {
+    fn latest_abs(&self) -> usize {
+        self.base + self.stores.len() - 1
+    }
+    fn rec(&self, abs: usize) -> &StoreRec {
+        &self.stores[abs - self.base]
+    }
+}
+
+// --------------------------------------------------------------- threads
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    /// Waiting for the mutex keyed by this address to be free.
+    BlockedMutex(usize),
+    /// Parked on a condvar; `timed` waits can fire their timeout.
+    BlockedCv { timed: bool },
+    /// Waiting for the slot to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadSlot {
+    state: TState,
+    clock: VClock,
+    /// Set by notify; consumed by the waiter on wake.
+    wake_notified: bool,
+    /// Remaining timeout fires for timed waits.
+    timeout_budget: u32,
+}
+
+struct MutexMeta {
+    owner: Option<usize>,
+}
+
+#[derive(Default)]
+struct CvMeta {
+    /// FIFO wait queue of slots.
+    waiters: Vec<usize>,
+}
+
+// ----------------------------------------------------------- shared state
+
+struct Inner {
+    opts: Opts,
+    chooser: Box<dyn Chooser>,
+    trace: Vec<u32>,
+    threads: Vec<ThreadSlot>,
+    os_handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    active: usize,
+    live: usize,
+    steps: u64,
+    abort: bool,
+    truncated: bool,
+    failure: Option<String>,
+    locations: HashMap<usize, LocState>,
+    mutexes: HashMap<usize, MutexMeta>,
+    condvars: HashMap<usize, CvMeta>,
+}
+
+struct Shared {
+    inner: StdMutex<Inner>,
+    cv: StdCondvar,
+}
+
+fn lock_inner(shared: &Shared) -> StdMutexGuard<'_, Inner> {
+    shared.inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-OS-thread handle into the execution it belongs to.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    shared: Arc<Shared>,
+    me: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The calling OS thread's virtual-thread context, if it is part of an
+/// execution *and* not currently unwinding. During an unwind every
+/// shim operation degrades to its plain `std` form so that destructors
+/// never re-enter the scheduler.
+pub(crate) fn cur_ctx() -> Option<Ctx> {
+    if std::thread::panicking() {
+        return None;
+    }
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Inner {
+    fn enabled(&self, i: usize) -> bool {
+        let t = &self.threads[i];
+        match &t.state {
+            TState::Runnable => true,
+            TState::BlockedMutex(m) => self
+                .mutexes
+                .get(m)
+                .map_or(true, |meta| meta.owner.is_none()),
+            TState::BlockedCv { timed } => {
+                t.wake_notified || (*timed && t.timeout_budget > 0)
+            }
+            TState::BlockedJoin(target) => {
+                matches!(self.threads[*target].state, TState::Finished)
+            }
+            TState::Finished => false,
+        }
+    }
+
+    fn enabled_list(&self) -> Vec<u32> {
+        (0..self.threads.len())
+            .filter(|&i| self.enabled(i))
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+    }
+
+    fn describe_states(&self) -> String {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("t{i}={:?}", t.state))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Hands the CPU to `slot`, updating whatever its blocked state was
+    /// waiting for.
+    fn grant(&mut self, slot: usize) {
+        match self.threads[slot].state.clone() {
+            TState::Runnable => {}
+            TState::BlockedMutex(m) => {
+                let meta = self.mutexes.get_mut(&m).expect("blocked on unknown mutex");
+                debug_assert!(meta.owner.is_none(), "granted a held mutex");
+                meta.owner = Some(slot);
+                self.threads[slot].state = TState::Runnable;
+            }
+            TState::BlockedCv { .. } => {
+                if !self.threads[slot].wake_notified {
+                    // Timeout fire (the only other way a timed wait is
+                    // enabled); spend one budget unit.
+                    let b = &mut self.threads[slot].timeout_budget;
+                    *b = b.saturating_sub(1);
+                }
+                self.threads[slot].state = TState::Runnable;
+            }
+            TState::BlockedJoin(_) => {
+                self.threads[slot].state = TState::Runnable;
+            }
+            TState::Finished => unreachable!("granting a finished thread"),
+        }
+        self.active = slot;
+    }
+
+    /// One scheduling point: decides who runs next (consulting the
+    /// chooser when there is a real choice) and grants it. `Err` means
+    /// the execution is over (abort/truncation/deadlock) and the caller
+    /// must tear down.
+    fn pick_next(&mut self, me: usize) -> Result<usize, ()> {
+        self.steps += 1;
+        if self.steps > self.opts.max_steps {
+            self.truncated = true;
+            self.abort = true;
+            return Err(());
+        }
+        let enabled = self.enabled_list();
+        if enabled.is_empty() {
+            if self.live == 0 {
+                return Err(());
+            }
+            let budget_exhausted = self.threads.iter().any(|t| {
+                matches!(t.state, TState::BlockedCv { timed: true })
+                    && t.timeout_budget == 0
+                    && !t.wake_notified
+            });
+            if budget_exhausted {
+                // A timed wait would eventually fire in reality; the
+                // model just stops exploring this schedule.
+                self.truncated = true;
+            } else {
+                self.fail(format!(
+                    "deadlock: no enabled virtual thread ({})",
+                    self.describe_states()
+                ));
+            }
+            self.abort = true;
+            return Err(());
+        }
+        let choice = if enabled.len() > 1 {
+            let d = Decision::Thread {
+                current: me as u32,
+                enabled: enabled.clone(),
+            };
+            let idx = self.chooser.choose(&d);
+            assert!(
+                (idx as usize) < enabled.len(),
+                "chooser picked option {idx} of {}",
+                enabled.len()
+            );
+            self.trace.push(idx);
+            enabled[idx as usize] as usize
+        } else {
+            enabled[0] as usize
+        };
+        self.grant(choice);
+        Ok(choice)
+    }
+
+    fn ensure_loc(&mut self, addr: usize, init: u64) -> &mut LocState {
+        self.locations.entry(addr).or_insert_with(|| LocState {
+            base: 0,
+            stores: vec![StoreRec {
+                val: init,
+                clock: VClock::default(),
+                release: true,
+            }],
+            seen: [0; MAX_THREADS],
+        })
+    }
+}
+
+// ------------------------------------------------------------ scheduling
+
+fn park_until_active<'a>(
+    ctx: &'a Ctx,
+    mut g: StdMutexGuard<'a, Inner>,
+) -> StdMutexGuard<'a, Inner> {
+    loop {
+        if g.abort {
+            drop(g);
+            teardown();
+        }
+        if g.active == ctx.me && matches!(g.threads[ctx.me].state, TState::Runnable) {
+            return g;
+        }
+        g = ctx.shared.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Scheduling point while remaining runnable. On return the caller is
+/// the active thread and still holds the execution lock, so the
+/// operation it performs next is atomic with respect to the scheduler.
+fn yield_now<'a>(ctx: &'a Ctx) -> StdMutexGuard<'a, Inner> {
+    let mut g = lock_inner(&ctx.shared);
+    if g.abort {
+        drop(g);
+        teardown();
+    }
+    match g.pick_next(ctx.me) {
+        Err(()) => {
+            ctx.shared.cv.notify_all();
+            drop(g);
+            teardown();
+        }
+        Ok(next) => {
+            if next != ctx.me {
+                ctx.shared.cv.notify_all();
+                g = park_until_active(ctx, g);
+            }
+            g
+        }
+    }
+}
+
+/// Blocks the caller with `state` and parks until granted.
+fn block_on<'a>(
+    ctx: &'a Ctx,
+    mut g: StdMutexGuard<'a, Inner>,
+    state: TState,
+) -> StdMutexGuard<'a, Inner> {
+    g.threads[ctx.me].state = state;
+    match g.pick_next(ctx.me) {
+        Err(()) => {
+            ctx.shared.cv.notify_all();
+            drop(g);
+            teardown();
+        }
+        Ok(_) => {
+            ctx.shared.cv.notify_all();
+            park_until_active(ctx, g)
+        }
+    }
+}
+
+fn consult(chooser: &mut Box<dyn Chooser>, trace: &mut Vec<u32>, d: Decision) -> u32 {
+    let idx = chooser.choose(&d);
+    assert!(idx < d.options(), "chooser picked {idx} of {}", d.options());
+    trace.push(idx);
+    idx
+}
+
+// ------------------------------------------------------------ atomic ops
+
+pub(crate) fn atomic_load(ctx: &Ctx, addr: usize, init: u64, relaxed: bool) -> u64 {
+    let mut g = yield_now(ctx);
+    let me = ctx.me;
+    g.ensure_loc(addr, init);
+    let my_clock = g.threads[me].clock.clone();
+    let inner = &mut *g;
+    let loc = inner.locations.get_mut(&addr).expect("just ensured");
+    let latest = loc.latest_abs();
+    if !relaxed {
+        // SC approximation: non-relaxed loads observe the newest store;
+        // acquiring from a release store joins the clocks.
+        let rec_release = loc.rec(latest).release;
+        let rec_clock = loc.rec(latest).clock.clone();
+        let val = loc.rec(latest).val;
+        loc.seen[me] = loc.seen[me].max(latest);
+        if rec_release {
+            inner.threads[me].clock.join(&rec_clock);
+        }
+        return val;
+    }
+    // Relaxed: branch over every store newer than the happens-before /
+    // coherence floor.
+    let mut floor = loc.seen[me].max(loc.base);
+    for i in (0..loc.stores.len()).rev() {
+        let abs = loc.base + i;
+        if abs <= floor {
+            break;
+        }
+        if loc.stores[i].clock.le(&my_clock) {
+            floor = abs;
+            break;
+        }
+    }
+    let n = (latest - floor + 1) as u32;
+    let chosen_abs = if n > 1 {
+        let idx = consult(
+            &mut inner.chooser,
+            &mut inner.trace,
+            Decision::Value { candidates: n },
+        );
+        floor + idx as usize
+    } else {
+        latest
+    };
+    let loc = inner.locations.get_mut(&addr).expect("just ensured");
+    loc.seen[me] = loc.seen[me].max(chosen_abs);
+    loc.rec(chosen_abs).val
+}
+
+pub(crate) fn atomic_store(ctx: &Ctx, addr: usize, init: u64, val: u64, release: bool) {
+    let mut g = yield_now(ctx);
+    let me = ctx.me;
+    g.ensure_loc(addr, init);
+    g.threads[me].clock.tick(me);
+    let clock = g.threads[me].clock.clone();
+    let loc = g.locations.get_mut(&addr).expect("just ensured");
+    loc.stores.push(StoreRec {
+        val,
+        clock,
+        release,
+    });
+    if loc.stores.len() > STORE_CAP {
+        let excess = loc.stores.len() - STORE_CAP;
+        loc.stores.drain(..excess);
+        loc.base += excess;
+    }
+    let latest = loc.latest_abs();
+    loc.seen[me] = latest;
+}
+
+/// Read-modify-write: always acts on the newest store (RMWs read the
+/// latest value in every C++11 execution), acquires it, and publishes
+/// the result as a release store.
+pub(crate) fn atomic_rmw(
+    ctx: &Ctx,
+    addr: usize,
+    init: u64,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    let mut g = yield_now(ctx);
+    let me = ctx.me;
+    g.ensure_loc(addr, init);
+    let (old, old_clock) = {
+        let loc = g.locations.get_mut(&addr).expect("just ensured");
+        let latest = loc.latest_abs();
+        (loc.rec(latest).val, loc.rec(latest).clock.clone())
+    };
+    g.threads[me].clock.join(&old_clock);
+    g.threads[me].clock.tick(me);
+    let clock = g.threads[me].clock.clone();
+    let loc = g.locations.get_mut(&addr).expect("just ensured");
+    loc.stores.push(StoreRec {
+        val: f(old),
+        clock,
+        release: true,
+    });
+    if loc.stores.len() > STORE_CAP {
+        let excess = loc.stores.len() - STORE_CAP;
+        loc.stores.drain(..excess);
+        loc.base += excess;
+    }
+    let latest = loc.latest_abs();
+    loc.seen[me] = latest;
+    old
+}
+
+/// Compare-exchange against the newest store. Success behaves like an
+/// RMW; failure is a load of the newest value.
+pub(crate) fn atomic_cas(
+    ctx: &Ctx,
+    addr: usize,
+    init: u64,
+    current: u64,
+    new: u64,
+) -> Result<u64, u64> {
+    let mut g = yield_now(ctx);
+    let me = ctx.me;
+    g.ensure_loc(addr, init);
+    let (old, old_clock) = {
+        let loc = g.locations.get_mut(&addr).expect("just ensured");
+        let latest = loc.latest_abs();
+        (loc.rec(latest).val, loc.rec(latest).clock.clone())
+    };
+    if old != current {
+        let loc = g.locations.get_mut(&addr).expect("just ensured");
+        let latest = loc.latest_abs();
+        loc.seen[me] = loc.seen[me].max(latest);
+        return Err(old);
+    }
+    g.threads[me].clock.join(&old_clock);
+    g.threads[me].clock.tick(me);
+    let clock = g.threads[me].clock.clone();
+    let loc = g.locations.get_mut(&addr).expect("just ensured");
+    loc.stores.push(StoreRec {
+        val: new,
+        clock,
+        release: true,
+    });
+    if loc.stores.len() > STORE_CAP {
+        let excess = loc.stores.len() - STORE_CAP;
+        loc.stores.drain(..excess);
+        loc.base += excess;
+    }
+    let latest = loc.latest_abs();
+    loc.seen[me] = latest;
+    Ok(old)
+}
+
+// ------------------------------------------------------------- mutex ops
+
+pub(crate) fn mutex_lock(ctx: &Ctx, addr: usize) {
+    let mut g = yield_now(ctx);
+    let meta = g
+        .mutexes
+        .entry(addr)
+        .or_insert(MutexMeta { owner: None });
+    match meta.owner {
+        None => meta.owner = Some(ctx.me),
+        Some(o) if o == ctx.me => {
+            g.fail(format!("virtual thread {} relocked a mutex it holds", ctx.me));
+            ctx.shared.cv.notify_all();
+            drop(g);
+            teardown();
+        }
+        Some(_) => {
+            g = block_on(ctx, g, TState::BlockedMutex(addr));
+        }
+    }
+    drop(g);
+}
+
+pub(crate) fn mutex_unlock(ctx: &Ctx, addr: usize) {
+    let mut g = lock_inner(&ctx.shared);
+    if g.abort {
+        drop(g);
+        teardown();
+    }
+    if let Some(meta) = g.mutexes.get_mut(&addr) {
+        debug_assert_eq!(meta.owner, Some(ctx.me), "unlock by non-owner");
+        meta.owner = None;
+    }
+    // Release is itself a scheduling point so a waiter can run next.
+    match g.pick_next(ctx.me) {
+        Err(()) => {
+            ctx.shared.cv.notify_all();
+            drop(g);
+            teardown();
+        }
+        Ok(next) => {
+            if next != ctx.me {
+                ctx.shared.cv.notify_all();
+                g = park_until_active(ctx, g);
+            }
+            drop(g);
+        }
+    }
+}
+
+// ----------------------------------------------------------- condvar ops
+
+/// Parks on `cv_addr`, atomically (w.r.t. the scheduler) releasing the
+/// model mutex `mx_addr`. The caller must have dropped the *real* std
+/// guard already — nothing else can run between that drop and this
+/// call, because the caller is the active thread throughout. Returns
+/// `true` if the wake was a timeout rather than a notify. On return
+/// the model mutex is re-acquired.
+pub(crate) fn cv_wait(ctx: &Ctx, cv_addr: usize, mx_addr: usize, timed: bool) -> bool {
+    let mut g = lock_inner(&ctx.shared);
+    if g.abort {
+        drop(g);
+        teardown();
+    }
+    let meta = g
+        .mutexes
+        .get_mut(&mx_addr)
+        .expect("condvar wait without a locked mutex");
+    debug_assert_eq!(meta.owner, Some(ctx.me), "wait by non-owner");
+    meta.owner = None;
+    g.condvars.entry(cv_addr).or_default().waiters.push(ctx.me);
+    g.threads[ctx.me].wake_notified = false;
+    g = block_on(ctx, g, TState::BlockedCv { timed });
+    let notified = g.threads[ctx.me].wake_notified;
+    g.threads[ctx.me].wake_notified = false;
+    if !notified {
+        // Timeout fire: we are still queued; leave the queue.
+        if let Some(cvm) = g.condvars.get_mut(&cv_addr) {
+            cvm.waiters.retain(|&w| w != ctx.me);
+        }
+    }
+    // Cooperative mutex re-acquisition.
+    let meta = g.mutexes.get_mut(&mx_addr).expect("mutex vanished");
+    match meta.owner {
+        None => meta.owner = Some(ctx.me),
+        Some(_) => {
+            g = block_on(ctx, g, TState::BlockedMutex(mx_addr));
+        }
+    }
+    drop(g);
+    !notified
+}
+
+pub(crate) fn cv_notify(ctx: &Ctx, cv_addr: usize, all: bool) {
+    let mut g = yield_now(ctx);
+    let inner = &mut *g;
+    if let Some(cvm) = inner.condvars.get_mut(&cv_addr) {
+        if all {
+            for w in cvm.waiters.drain(..) {
+                inner.threads[w].wake_notified = true;
+            }
+        } else if !cvm.waiters.is_empty() {
+            let w = cvm.waiters.remove(0);
+            inner.threads[w].wake_notified = true;
+        }
+    }
+    drop(g);
+}
+
+// ------------------------------------------------------------ spawn/join
+
+/// Handle to a spawned virtual thread.
+pub struct JoinHandle<T> {
+    slot: usize,
+    result: Arc<StdMutex<Option<T>>>,
+    shared: Arc<Shared>,
+}
+
+/// Spawns a virtual thread inside the current execution.
+///
+/// # Panics
+///
+/// Panics if called outside an execution or if the execution already
+/// has [`MAX_THREADS`] virtual threads.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let ctx = cur_ctx().expect("rt::spawn outside a model-checked execution");
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let slot = {
+        let mut g = lock_inner(&ctx.shared);
+        if g.abort {
+            drop(g);
+            teardown();
+        }
+        let slot = g.threads.len();
+        assert!(slot < MAX_THREADS, "execution exceeds {MAX_THREADS} virtual threads");
+        g.threads[ctx.me].clock.tick(ctx.me);
+        let clock = g.threads[ctx.me].clock.clone();
+        let budget = g.opts.timeout_budget;
+        g.threads.push(ThreadSlot {
+            state: TState::Runnable,
+            clock,
+            wake_notified: false,
+            timeout_budget: budget,
+        });
+        g.live += 1;
+        let shared2 = Arc::clone(&ctx.shared);
+        let res2 = Arc::clone(&result);
+        let os = std::thread::Builder::new()
+            .name(format!("mc-vthread-{slot}"))
+            .spawn(move || vthread_main(shared2, slot, f, res2))
+            .expect("spawn vthread OS thread");
+        g.os_handles.push(Some(os));
+        drop(g);
+        slot
+    };
+    // The child parks until a scheduling decision picks it; make one
+    // now so "child runs first" is explored.
+    drop(yield_now(&ctx));
+    JoinHandle {
+        slot,
+        result,
+        shared: Arc::clone(&ctx.shared),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the virtual thread to finish and returns its value.
+    pub fn join(self) -> T {
+        let ctx = cur_ctx().expect("rt::join outside a model-checked execution");
+        debug_assert!(Arc::ptr_eq(&ctx.shared, &self.shared), "cross-execution join");
+        let mut g = yield_now(&ctx);
+        if !matches!(g.threads[self.slot].state, TState::Finished) {
+            g = block_on(&ctx, g, TState::BlockedJoin(self.slot));
+        }
+        drop(g);
+        let v = self
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        match v {
+            Some(v) => v,
+            // The child panicked; its wrapper recorded the failure and
+            // set the abort flag, so just tear down.
+            None => teardown(),
+        }
+    }
+}
+
+fn vthread_main<T, F>(
+    shared: Arc<Shared>,
+    me: usize,
+    f: F,
+    result: Arc<StdMutex<Option<T>>>,
+) where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            shared: Arc::clone(&shared),
+            me,
+        })
+    });
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let ctx = cur_ctx().expect("ctx just installed");
+        // Park until first scheduled (slot 0 is born active).
+        let g = lock_inner(&ctx.shared);
+        let g = park_until_active(&ctx, g);
+        drop(g);
+        f()
+    }));
+    CTX.with(|c| *c.borrow_mut() = None);
+    let failure = match outcome {
+        Ok(v) => {
+            *result.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            None
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<McAbort>().is_some() {
+                None
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                Some(s.clone())
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                Some((*s).to_string())
+            } else {
+                Some("virtual thread panicked with a non-string payload".to_string())
+            }
+        }
+    };
+    // Finish: mark the slot done and hand off.
+    let mut g = lock_inner(&shared);
+    g.threads[me].state = TState::Finished;
+    g.live -= 1;
+    if let Some(msg) = failure {
+        g.fail(format!("virtual thread {me}: {msg}"));
+    }
+    if !g.abort && g.live > 0 {
+        // Err just means the execution is over (deadlock/truncation
+        // recorded); either way everyone must be woken below.
+        let _ = g.pick_next(me);
+    }
+    drop(g);
+    shared.cv.notify_all();
+}
+
+// -------------------------------------------------------------- executor
+
+/// Runs `f` once as virtual thread 0 under `chooser`, returning the
+/// outcome and the recorded trace. Blocks until every OS thread of the
+/// execution has exited, so executions never overlap.
+/// Installs (once per process) a panic hook that stays silent for the
+/// [`McAbort`] teardown panics — they are control flow, and the default
+/// hook would print one backtrace banner per torn-down thread per
+/// truncated or failing execution. Real panics still go through the
+/// previously installed hook.
+fn quiet_teardown_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<McAbort>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+pub fn run_execution(
+    opts: &Opts,
+    chooser: Box<dyn Chooser>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> ExecResult {
+    quiet_teardown_panics();
+    let shared = Arc::new(Shared {
+        inner: StdMutex::new(Inner {
+            opts: opts.clone(),
+            chooser,
+            trace: Vec::new(),
+            threads: vec![ThreadSlot {
+                state: TState::Runnable,
+                clock: VClock::default(),
+                wake_notified: false,
+                timeout_budget: opts.timeout_budget,
+            }],
+            os_handles: Vec::new(),
+            active: 0,
+            live: 1,
+            steps: 0,
+            abort: false,
+            truncated: false,
+            failure: None,
+            locations: HashMap::new(),
+            mutexes: HashMap::new(),
+            condvars: HashMap::new(),
+        }),
+        cv: StdCondvar::new(),
+    });
+    let shared2 = Arc::clone(&shared);
+    let root_result: Arc<StdMutex<Option<()>>> = Arc::new(StdMutex::new(None));
+    let root_res2 = Arc::clone(&root_result);
+    let root = std::thread::Builder::new()
+        .name("mc-vthread-0".to_string())
+        .spawn(move || vthread_main(shared2, 0, move || f(), root_res2))
+        .expect("spawn root vthread");
+    {
+        let mut g = lock_inner(&shared);
+        while g.live > 0 {
+            g = shared.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    let handles: Vec<_> = {
+        let mut g = lock_inner(&shared);
+        g.os_handles.iter_mut().map(|h| h.take()).collect()
+    };
+    let _ = root.join();
+    for h in handles.into_iter().flatten() {
+        let _ = h.join();
+    }
+    let g = lock_inner(&shared);
+    ExecResult {
+        failure: g.failure.clone(),
+        trace: g.trace.clone(),
+        truncated: g.truncated,
+        steps: g.steps,
+    }
+}

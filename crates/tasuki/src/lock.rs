@@ -13,7 +13,7 @@
 //! woken contender inflates the lock. Uncontended fat locks deflate back
 //! to thin on release — the tasuki bidirectional transfer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use solero_sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use solero_obs::{EventKind, LockEvent};

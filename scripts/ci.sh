@@ -32,6 +32,28 @@ rm -f results/obs.jsonl
 ./target/debug/obs_smoke > /dev/null
 ./target/debug/obs_check results/obs.jsonl
 
+# Model-check the elision protocol (crates/mc). The instrumented
+# runtime is selected by a cfg flag rather than a cargo feature so
+# feature unification can never leak the scheduler into normal builds;
+# the separate target dir keeps the two build graphs' caches apart.
+#
+# Budgets: the 2-thread scenarios are explored exhaustively (bounded
+# preemption); 3-thread scenarios use seeded random sampling. Both
+# accept overrides — SOLERO_MC_SEED re-seeds the sampling mode and
+# SOLERO_MC_BUDGET caps executions per scenario — so a failing schedule
+# printed in CI can be replayed locally byte-for-byte.
+echo "== tier-1: model checker (exhaustive 2-thread, seeded 3-thread) =="
+RUSTFLAGS="--cfg solero_mc" CARGO_TARGET_DIR=target/mc \
+    cargo test -q --offline -p solero-sync -p solero-mc
+
+# The mutation-kill harness flips each test-only protocol weakening
+# (skip the exit re-read, demote it to Relaxed, stall the release
+# counter) and requires the checker to report a violating schedule and
+# replay it deterministically; the test fails if any mutant survives.
+echo "== tier-1: mc mutation-kill (each weakened protocol must fail) =="
+RUSTFLAGS="--cfg solero_mc" CARGO_TARGET_DIR=target/mc \
+    cargo test -q --offline -p solero-mc --test mutation_kill
+
 # Replay the concurrency stress and property suites under a pinned seed
 # matrix: different roots exercise different schedules/cases, and every
 # one of them is reproducible by exporting the printed seed.
