@@ -246,6 +246,22 @@ impl JHashMap {
         Ok(None)
     }
 
+    /// Forces one rehash right now, regardless of the load factor.
+    ///
+    /// Scenario hook for the model checker and stress tests: a rehash
+    /// window is the interesting race against speculative readers, and
+    /// driving it directly keeps a model-checked schedule small instead
+    /// of burning scheduling points on the inserts needed to cross the
+    /// threshold. Semantically identical to a threshold-triggered
+    /// resize.
+    ///
+    /// # Errors
+    ///
+    /// Writer-side heap faults are genuine errors.
+    pub fn force_resize(&self, heap: &Heap) -> Result<(), Fault> {
+        self.resize(heap)
+    }
+
     /// Doubles the table, relinking every node — the operation whose
     /// races with speculative readers the recovery machinery exists for.
     fn resize(&self, heap: &Heap) -> Result<(), Fault> {

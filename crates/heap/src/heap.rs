@@ -236,6 +236,22 @@ impl Heap {
         Ok(self.header(r)?.len())
     }
 
+    /// The allocation generation of the live object `r` refers to.
+    ///
+    /// Every (re)allocation of a storage cell bumps its generation, so
+    /// two observations of the same handle with different generations
+    /// prove the object was freed and its storage recycled in between.
+    /// Scenario hook: the model-checked collections tests use it to
+    /// assert a structural mutation (rehash, rotation) really swapped
+    /// epochs, i.e. the window under test actually opened.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::NullPointer`] or [`Fault::StaleHandle`].
+    pub fn generation_of(&self, r: ObjRef) -> Result<u16, Fault> {
+        Ok(self.header(r)?.generation())
+    }
+
     /// Speculative-tolerant load of slot `idx`, verifying the object is
     /// of class `expected`.
     ///

@@ -10,7 +10,7 @@ use solero_sync::model::{format_trace, parse_trace, Chooser, Opts};
 use solero_sync::rt::run_execution;
 use solero_testkit::TestRng;
 
-use crate::explore::{DfsChooser, DfsCore, RandomChooser, ReplayChooser};
+use crate::explore::{DfsChooser, DfsCore, DporChooser, DporCore, RandomChooser, ReplayChooser};
 
 /// Virtual-thread spawn for scenarios, re-exported so checker tests
 /// only need to depend on `solero-mc`.
@@ -19,6 +19,7 @@ pub use solero_sync::rt::spawn;
 #[derive(Clone)]
 enum Mode {
     Exhaustive,
+    Dpor,
     Random { seed: u64, executions: u64 },
     Replay { trace: Vec<u32> },
 }
@@ -79,6 +80,21 @@ impl Checker {
     pub fn exhaustive() -> Self {
         Checker {
             mode: Mode::Exhaustive,
+            preemption_bound: Some(2),
+            max_steps: 20_000,
+            timeout_budget: 3,
+            max_executions: 200_000,
+        }
+    }
+
+    /// Bounded-exhaustive exploration with dynamic partial-order
+    /// reduction: same schedule space as [`Checker::exhaustive`] (same
+    /// default preemption bound), but schedules that only commute
+    /// independent operations are pruned via the per-execution access
+    /// log. Violation traces replay exactly like exhaustive-mode ones.
+    pub fn dpor() -> Self {
+        Checker {
+            mode: Mode::Dpor,
             preemption_bound: Some(2),
             max_steps: 20_000,
             timeout_budget: 3,
@@ -184,6 +200,32 @@ impl Checker {
                     complete,
                 };
                 report(name, "exhaustive", &stats);
+                Ok(stats)
+            }
+            Mode::Dpor => {
+                let core = Arc::new(StdMutex::new(DporCore::new(self.preemption_bound)));
+                let complete = loop {
+                    core.lock().unwrap().begin();
+                    let chooser: Box<dyn Chooser> = Box::new(DporChooser(core.clone()));
+                    let res = run_execution(&opts, chooser, scenario.clone());
+                    executions += 1;
+                    truncated += res.truncated as u64;
+                    if let Some(message) = res.failure {
+                        return Err(violation(name, message, &res.trace, executions));
+                    }
+                    if core.lock().unwrap().advance(&res.accesses) {
+                        break true;
+                    }
+                    if executions >= budget {
+                        break false;
+                    }
+                };
+                let stats = McStats {
+                    executions,
+                    truncated,
+                    complete,
+                };
+                report(name, "dpor", &stats);
                 Ok(stats)
             }
             Mode::Random { seed, executions: n } => {

@@ -25,8 +25,13 @@
 
 pub mod explore;
 
-pub use explore::{allowed_options, is_preemption, DfsChooser, DfsCore, RandomChooser, ReplayChooser};
-pub use solero_sync::model::{format_trace, parse_trace, Decision, ExecResult, Opts};
+pub use explore::{
+    allowed_options, is_preemption, DfsChooser, DfsCore, DporChooser, DporCore, RandomChooser,
+    ReplayChooser,
+};
+pub use solero_sync::model::{
+    format_trace, parse_trace, AccessKind, AccessSpace, Decision, ExecResult, Opts, StepRec,
+};
 
 #[cfg(solero_mc)]
 mod checker;

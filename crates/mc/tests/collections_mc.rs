@@ -1,0 +1,198 @@
+//! Model-checked collections under elided readers (ISSUE 4 tentpole):
+//! a `JHashMap` rehash and a `JTreeMap` rotation race against
+//! speculative read-only sections over the shadow heap, three virtual
+//! threads each. Every explored schedule must validate only coherent
+//! snapshots — a reader that saw a mix of pre- and post-restructure
+//! epochs must have aborted and re-executed, never returned.
+//!
+//! These spaces are orders of magnitude larger than the two-thread
+//! protocol scenarios, which is exactly why they run under
+//! [`Checker::dpor`]: the partial-order reduction prunes schedules
+//! that only commute independent heap accesses, collapsing each
+//! scenario to a few hundred representative executions that drain
+//! within the CI budget (tunable via `SOLERO_MC_BUDGET`, see
+//! scripts/ci.sh). Plain bounded DFS does not finish these scenarios
+//! within any CI-shaped cap — tests/dpor_reduction.rs measures the
+//! before/after.
+//!
+//! Build with `RUSTFLAGS="--cfg solero_mc"` (see scripts/ci.sh).
+#![cfg(solero_mc)]
+
+use std::sync::Arc;
+
+use solero::{Fault, SoleroConfig, SoleroLock};
+use solero_collections::{JHashMap, JTreeMap, MAP_CLASS};
+use solero_heap::Heap;
+use solero_mc::{spawn, Checker};
+use solero_runtime::spin::SpinConfig;
+
+/// Minimal-state-space config, as in tests/protocol.rs.
+fn mc_config() -> SoleroConfig {
+    SoleroConfig::builder().spin(SpinConfig::immediate()).build()
+}
+
+/// Per-scenario execution cap, a safety valve an order of magnitude
+/// above what the reduced spaces need (DPOR drains both three-thread
+/// scenarios in a few hundred executions at preemption bound 2, where
+/// plain DFS does not finish within any CI-shaped cap — see
+/// tests/dpor_reduction.rs for the measured before/after).
+const SCENARIO_CAP: u64 = 4_000;
+
+/// Abort-taxonomy invariants from the PR-2 observability layer, asserted
+/// at scenario teardown in **every** explored schedule.
+fn assert_taxonomy(lock: &SoleroLock) {
+    let s = lock.stats().snapshot();
+    assert_eq!(
+        s.read_aborts,
+        s.abort_reason_sum(),
+        "every abort classified exactly once: {s:?}"
+    );
+    assert_eq!(s.fallback_acquires, s.abort_retry_exhausted, "{s:?}");
+    if s.abort_inflation > 0 {
+        assert!(s.inflations > 0, "inflation aborts require an inflation: {s:?}");
+    }
+}
+
+/// One writer forcing a rehash (table swap + node relink + old-table
+/// free), two elided readers each taking a two-key snapshot in a single
+/// read-only section. A snapshot mixing epochs — e.g. a bucket resolved
+/// in the old table after the swap, or a key that "vanished" mid-relink
+/// — must never validate: both keys come back with their seeded values
+/// in every explored schedule.
+#[test]
+fn hashmap_rehash_readers_see_single_epoch() {
+    let stats = Checker::dpor()
+        .max_executions(SCENARIO_CAP)
+        .check("hashmap_rehash", || {
+            let heap = Arc::new(Heap::new(256));
+            let map = Arc::new(JHashMap::new(&heap, 4).unwrap());
+            map.put(&heap, 1, 10).unwrap();
+            map.put(&heap, 2, 20).unwrap();
+            // Field 0 of the map root is the table reference (the
+            // `force_resize` docs pin this layout); captured pre-swap so
+            // teardown can prove the epoch actually changed.
+            let old_table = heap.load_ref(map.root(), MAP_CLASS, 0).unwrap();
+            let lock = Arc::new(SoleroLock::with_config(mc_config()));
+
+            let writer = {
+                let (heap, map, lock) = (Arc::clone(&heap), Arc::clone(&map), Arc::clone(&lock));
+                spawn(move || {
+                    lock.write(|| map.force_resize(&heap).unwrap());
+                })
+            };
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (heap, map, lock) =
+                        (Arc::clone(&heap), Arc::clone(&map), Arc::clone(&lock));
+                    spawn(move || {
+                        let snap = lock
+                            .read_only(|s| {
+                                let a = map.get(&heap, 1, &mut *s)?;
+                                let b = map.get(&heap, 2, &mut *s)?;
+                                Ok::<_, Fault>((a, b))
+                            })
+                            .expect("no genuine faults in this scenario");
+                        assert_eq!(
+                            snap,
+                            (Some(10), Some(20)),
+                            "validated mixed-epoch snapshot {snap:?}"
+                        );
+                    })
+                })
+                .collect();
+            writer.join();
+            for r in readers {
+                r.join();
+            }
+
+            // Epoch proof: the rehash swapped in a fresh table and freed
+            // the seed-time one, whose storage cannot have been recycled
+            // (the free list is keyed by length and nothing else of
+            // length 4 was allocated afterwards) — so the old handle is
+            // now stale in every schedule.
+            let new_table = heap.load_ref(map.root(), MAP_CLASS, 0).unwrap();
+            assert_ne!(new_table.raw(), old_table.raw(), "rehash must swap the table");
+            assert!(
+                heap.generation_of(old_table).is_err(),
+                "the pre-rehash table must be freed, not resurrected"
+            );
+            assert_taxonomy(&lock);
+        })
+        .expect("a rehash must never let a mixed-epoch snapshot validate");
+    assert!(
+        stats.complete || solero_mc::budget_overridden(),
+        "the reduced bounded space must be exhausted"
+    );
+}
+
+/// One writer inserting the key that forces a left rotation at the tree
+/// root (pre-seeded `{1, 2}` as a black root with a red right child, so
+/// `put(3)` is a red child of a red parent), two elided readers taking
+/// coherent snapshots — one pairs `get(1)` with `first_key()` in a
+/// single section, the other reads key 2. A reader caught mid-rotation
+/// (child pointers re-aimed across two stores) must abort and re-run,
+/// never validate.
+#[test]
+fn treemap_rotation_readers_see_single_epoch() {
+    let stats = Checker::dpor()
+        .max_executions(SCENARIO_CAP)
+        .check("treemap_rotation", || {
+            let heap = Arc::new(Heap::new(256));
+            let map = Arc::new(JTreeMap::new(&heap).unwrap());
+            map.put(&heap, 1, 10).unwrap();
+            map.put(&heap, 2, 20).unwrap();
+            let lock = Arc::new(SoleroLock::with_config(mc_config()));
+
+            let writer = {
+                let (heap, map, lock) = (Arc::clone(&heap), Arc::clone(&map), Arc::clone(&lock));
+                spawn(move || {
+                    lock.write(|| {
+                        map.put(&heap, 3, 30).unwrap();
+                    });
+                })
+            };
+            let reader_a = {
+                let (heap, map, lock) = (Arc::clone(&heap), Arc::clone(&map), Arc::clone(&lock));
+                spawn(move || {
+                    let snap = lock
+                        .read_only(|s| {
+                            let v = map.get(&heap, 1, &mut *s)?;
+                            let first = map.first_key(&heap, &mut *s)?;
+                            Ok::<_, Fault>((v, first))
+                        })
+                        .expect("no genuine faults in this scenario");
+                    assert_eq!(
+                        snap,
+                        (Some(10), Some(1)),
+                        "validated mid-rotation snapshot {snap:?}"
+                    );
+                })
+            };
+            let reader_b = {
+                let (heap, map, lock) = (Arc::clone(&heap), Arc::clone(&map), Arc::clone(&lock));
+                spawn(move || {
+                    let v = lock
+                        .read_only(|s| map.get(&heap, 2, s))
+                        .expect("no genuine faults in this scenario");
+                    assert_eq!(v, Some(20), "validated mid-rotation read {v:?}");
+                })
+            };
+            writer.join();
+            reader_a.join();
+            reader_b.join();
+
+            // The rotation completed and left a legal red-black tree.
+            let black_height = map.check_invariants(&heap).unwrap();
+            assert!(black_height >= 1);
+            for (k, v) in [(1, 10), (2, 20), (3, 30)] {
+                let got = lock.read_only(|s| map.get(&heap, k, s)).unwrap();
+                assert_eq!(got, Some(v), "key {k} after rotation");
+            }
+            assert_taxonomy(&lock);
+        })
+        .expect("a rotation must never let a torn tree snapshot validate");
+    assert!(
+        stats.complete || solero_mc::budget_overridden(),
+        "the reduced bounded space must be exhausted"
+    );
+}

@@ -1,0 +1,186 @@
+//! Measures the dynamic partial-order reduction (ISSUE 4 tentpole):
+//! the same scenarios are explored by plain bounded DFS and by
+//! [`Checker::dpor`], and the checker reports a before/after
+//! explored-executions count. DPOR must visit strictly fewer schedules
+//! while reaching the same verdict, and the traces it records must
+//! stay byte-for-byte [`Checker::replay`]-compatible.
+//!
+//! Build with `RUSTFLAGS="--cfg solero_mc"` (see scripts/ci.sh).
+#![cfg(solero_mc)]
+
+use std::sync::Arc;
+
+use solero::{Fault, SoleroConfig, SoleroLock};
+use solero_heap::{ClassId, Heap, ObjRef};
+use solero_mc::{spawn, Checker, McStats};
+use solero_runtime::spin::SpinConfig;
+
+const PAIR: ClassId = ClassId::new(7);
+
+fn mc_config() -> SoleroConfig {
+    SoleroConfig::builder().spin(SpinConfig::immediate()).build()
+}
+
+fn alloc_pair(heap: &Heap) -> ObjRef {
+    let obj = heap.alloc(PAIR, 2).expect("scenario heap is large enough");
+    heap.store(obj, 0, 10).unwrap();
+    heap.store(obj, 1, 10).unwrap();
+    obj
+}
+
+/// The torn-pair protocol scenario from tests/protocol.rs: one writer
+/// keeping `slot0 == slot1` under the lock, `readers` elided readers
+/// snapshotting both slots and asserting coherence.
+fn pair_scenario(readers: usize) {
+    let heap = Arc::new(Heap::new(64));
+    let obj = alloc_pair(&heap);
+    let lock = Arc::new(SoleroLock::with_config(mc_config()));
+
+    let writer = {
+        let (heap, lock) = (Arc::clone(&heap), Arc::clone(&lock));
+        spawn(move || {
+            lock.write(|| {
+                let a = heap.load(obj, PAIR, 0).unwrap();
+                heap.store(obj, 0, a + 1).unwrap();
+                let b = heap.load(obj, PAIR, 1).unwrap();
+                heap.store(obj, 1, b + 1).unwrap();
+            });
+        })
+    };
+    let readers: Vec<_> = (0..readers)
+        .map(|_| {
+            let (heap, lock) = (Arc::clone(&heap), Arc::clone(&lock));
+            spawn(move || {
+                let pair = lock
+                    .read_only(|_| {
+                        let a = heap.load(obj, PAIR, 0)?;
+                        let b = heap.load(obj, PAIR, 1)?;
+                        Ok::<_, Fault>((a, b))
+                    })
+                    .expect("no genuine faults in this scenario");
+                assert_eq!(pair.0, pair.1, "validated torn read {pair:?}");
+            })
+        })
+        .collect();
+    writer.join();
+    for r in readers {
+        r.join();
+    }
+}
+
+/// Runs `scenario` under plain bounded DFS and under DPOR with the same
+/// preemption bound, requiring both to pass and to drain their spaces,
+/// and prints the before/after count the mc report promises.
+fn measure(name: &str, bound: u32, scenario: fn()) -> (McStats, McStats) {
+    let dfs = Checker::exhaustive()
+        .preemption_bound(Some(bound))
+        .check(&format!("{name}_dfs"), scenario)
+        .expect("plain DFS verdict must be pass");
+    let dpor = Checker::dpor()
+        .preemption_bound(Some(bound))
+        .check(&format!("{name}_dpor"), scenario)
+        .expect("DPOR verdict must match plain DFS (pass)");
+    println!(
+        "mc[{name}] reduction: plain-dfs {} -> dpor {} execution(s)",
+        dfs.executions, dpor.executions
+    );
+    (dfs, dpor)
+}
+
+/// On the existing two-thread protocol scenario DPOR must explore
+/// strictly fewer executions than plain DFS at the same preemption
+/// bound, with the same verdict and a drained space on both sides.
+#[test]
+fn dpor_reduces_two_thread_protocol_scenario() {
+    let (dfs, dpor) = measure("read_snapshot", 2, || pair_scenario(1));
+    if solero_mc::budget_overridden() {
+        return; // a capped search proves nothing about the full spaces
+    }
+    assert!(dfs.complete, "DFS must drain the bounded space");
+    assert!(dpor.complete, "DPOR must drain the bounded space");
+    assert!(
+        dpor.executions < dfs.executions,
+        "DPOR must prune commuting schedules: dfs {} vs dpor {}",
+        dfs.executions,
+        dpor.executions
+    );
+}
+
+/// Three threads make the gap decisive: DPOR still drains the space,
+/// in strictly fewer executions than plain DFS needs.
+#[test]
+fn dpor_reduces_three_thread_scenario() {
+    let (dfs, dpor) = measure("pair_two_readers", 2, || pair_scenario(2));
+    if solero_mc::budget_overridden() {
+        return;
+    }
+    assert!(dfs.complete && dpor.complete, "both spaces must drain");
+    assert!(
+        dpor.executions < dfs.executions,
+        "DPOR must prune commuting schedules: dfs {} vs dpor {}",
+        dfs.executions,
+        dpor.executions
+    );
+}
+
+/// Verdict equivalence on a *failing* scenario, and replay stability of
+/// the trace DPOR records: an unlocked writer tears the pair in some
+/// schedules, both modes must find a torn snapshot, and the DPOR
+/// violation's trace string must reproduce the identical failure
+/// through [`Checker::replay`] — byte-for-byte, twice.
+#[test]
+fn dpor_violation_traces_replay_byte_for_byte() {
+    fn racy_scenario() {
+        let heap = Arc::new(Heap::new(64));
+        let obj = alloc_pair(&heap);
+        let writer = {
+            let heap = Arc::clone(&heap);
+            spawn(move || {
+                // No lock: the torn window is genuinely observable.
+                let a = heap.load(obj, PAIR, 0).unwrap();
+                heap.store(obj, 0, a + 1).unwrap();
+                let b = heap.load(obj, PAIR, 1).unwrap();
+                heap.store(obj, 1, b + 1).unwrap();
+            })
+        };
+        let reader = {
+            let heap = Arc::clone(&heap);
+            spawn(move || {
+                let a = heap.load(obj, PAIR, 0).unwrap();
+                let b = heap.load(obj, PAIR, 1).unwrap();
+                assert_eq!(a, b, "unlocked torn read ({a}, {b})");
+            })
+        };
+        writer.join();
+        reader.join();
+    }
+
+    let dfs_kill = Checker::exhaustive()
+        .check("racy_dfs", racy_scenario)
+        .expect_err("plain DFS must find the unlocked tear");
+    let dpor_kill = Checker::dpor()
+        .check("racy_dpor", racy_scenario)
+        .expect_err("DPOR must find the unlocked tear too");
+    assert!(
+        dfs_kill.message.contains("unlocked torn read"),
+        "unexpected DFS failure: {dfs_kill}"
+    );
+    assert!(
+        dpor_kill.message.contains("unlocked torn read"),
+        "unexpected DPOR failure: {dpor_kill}"
+    );
+
+    for _ in 0..2 {
+        let replayed = Checker::replay(&dpor_kill.trace)
+            .check("racy_replay", racy_scenario)
+            .expect_err("a recorded DPOR trace must reproduce its failure");
+        assert_eq!(
+            replayed.message, dpor_kill.message,
+            "replay diverged from the recorded DPOR violation"
+        );
+        assert_eq!(
+            replayed.trace, dpor_kill.trace,
+            "replaying must re-record the identical trace string"
+        );
+    }
+}

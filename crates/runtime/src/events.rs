@@ -179,6 +179,11 @@ impl EventPoll {
     /// (`0` = events only).
     pub fn new(period: u64) -> Self {
         let batch = if period == 0 { 64 } else { period.min(64) as u32 };
+        // The hot path counts this batch down; it must never be zero or
+        // the first poll would wrap. The expression above cannot
+        // produce zero today, but the invariant is enforced here rather
+        // than re-derived at every call site.
+        let batch = batch.max(1);
         EventPoll {
             last_epoch: EventSource::global().epoch(),
             polls: 0,
@@ -189,10 +194,15 @@ impl EventPoll {
     }
 
     /// One check-point poll; see the type docs.
+    ///
+    /// The countdown is tested *before* it is decremented, so no state
+    /// — not even `countdown == 0` — can wrap the `u32`: any exhausted
+    /// countdown lands in [`EventPoll::slow_poll`], which re-arms it to
+    /// a full batch.
     #[inline]
     pub fn should_validate(&mut self) -> bool {
-        self.countdown -= 1;
-        if self.countdown != 0 {
+        if self.countdown > 1 {
+            self.countdown -= 1;
             return false;
         }
         self.slow_poll()
@@ -257,6 +267,46 @@ mod tests {
         }
         if EventSource::global().epoch() == before {
             assert!(!fired);
+        }
+    }
+
+    /// `period > 64` still samples in batches of 64: with the epoch
+    /// stable the deterministic fallback fires exactly at the first
+    /// batch boundary past the period (poll 128 for period 100), never
+    /// mid-batch.
+    #[test]
+    fn long_period_fires_at_batch_boundaries() {
+        // Other tests may bump the global epoch concurrently; only
+        // assert on a run where it stayed stable throughout.
+        let before = EventSource::global().epoch();
+        let mut p = EventPoll::new(100);
+        let mut positions = Vec::new();
+        for i in 1u32..=256 {
+            if p.should_validate() {
+                positions.push(i);
+            }
+        }
+        if EventSource::global().epoch() == before {
+            assert_eq!(positions, vec![128, 256]);
+        }
+    }
+
+    /// The zero-period ("events only") construction survives arbitrary
+    /// poll volume: the countdown is re-armed from `slow_poll` before
+    /// it can ever wrap the `u32`, so a long quiet run neither panics
+    /// nor spuriously validates.
+    #[test]
+    fn zero_period_long_run_cannot_underflow() {
+        let before = EventSource::global().epoch();
+        let mut p = EventPoll::new(0);
+        let mut fired = 0u32;
+        for _ in 0..100_000 {
+            if p.should_validate() {
+                fired += 1;
+            }
+        }
+        if EventSource::global().epoch() == before {
+            assert_eq!(fired, 0, "no events, no deterministic period");
         }
     }
 

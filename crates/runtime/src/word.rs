@@ -160,18 +160,33 @@ impl ConvWord {
     ///
     /// # Panics
     ///
-    /// Debug-asserts that the count does not overflow its six bits; the
-    /// lock implementations inflate before saturation.
+    /// Panics (in every build profile) if the count is already at
+    /// [`CONV_RECURSION_MAX`]: one more step would carry into the
+    /// tid/monitor-id field and silently corrupt the word. The lock
+    /// implementations inflate before saturation, so a panic here means
+    /// a caller bypassed that contract.
     #[inline]
     pub fn recurse(self) -> Self {
-        debug_assert!(self.recursion() < CONV_RECURSION_MAX);
+        assert!(
+            self.recursion() < CONV_RECURSION_MAX,
+            "ConvWord recursion overflow: depth {} would carry into the tid field",
+            self.recursion()
+        );
         ConvWord(self.0 + CONV_RECURSION_STEP)
     }
 
     /// Word with the recursion count decremented by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in every build profile) if the count is already zero:
+    /// the decrement would borrow out of the recursion bits.
     #[inline]
     pub fn unrecurse(self) -> Self {
-        debug_assert!(self.recursion() > 0);
+        assert!(
+            self.recursion() > 0,
+            "ConvWord recursion underflow: unrecurse on a non-recursed word"
+        );
         ConvWord(self.0 - CONV_RECURSION_STEP)
     }
 
@@ -348,16 +363,33 @@ impl SoleroWord {
     }
 
     /// Word with the recursion count incremented (`+ 0x8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in every build profile) if the count is already at
+    /// [`SOLERO_RECURSION_MAX`]: one more step would carry into the
+    /// tid field. The lock implementations inflate before saturation.
     #[inline]
     pub fn recurse(self) -> Self {
-        debug_assert!(self.recursion() < SOLERO_RECURSION_MAX);
+        assert!(
+            self.recursion() < SOLERO_RECURSION_MAX,
+            "SoleroWord recursion overflow: depth {} would carry into the tid field",
+            self.recursion()
+        );
         SoleroWord(self.0 + SOLERO_RECURSION_STEP)
     }
 
     /// Word with the recursion count decremented (`- 0x8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in every build profile) if the count is already zero.
     #[inline]
     pub fn unrecurse(self) -> Self {
-        debug_assert!(self.recursion() > 0);
+        assert!(
+            self.recursion() > 0,
+            "SoleroWord recursion underflow: unrecurse on a non-recursed word"
+        );
         SoleroWord(self.0 - SOLERO_RECURSION_STEP)
     }
 
@@ -481,6 +513,37 @@ mod tests {
         assert!(w.0 & LOW_MASK == 0);
     }
 
+    /// Nests to the documented maximum and verifies the adjacent tid
+    /// field is never disturbed. Runs identically in debug and release:
+    /// the bound is a real `assert!`, not a `debug_assert!`.
+    #[test]
+    fn conv_recursion_saturates_without_tid_corruption() {
+        let mut w = ConvWord::held_by(tid(200));
+        for _ in 0..CONV_RECURSION_MAX {
+            w = w.recurse();
+        }
+        assert_eq!(w.recursion(), CONV_RECURSION_MAX);
+        assert_eq!(w.tid(), Some(tid(200)), "tid intact at saturation");
+    }
+
+    #[test]
+    #[should_panic(expected = "ConvWord recursion overflow")]
+    fn conv_recursion_overflow_panics_in_release() {
+        let mut w = ConvWord::held_by(tid(1));
+        for _ in 0..CONV_RECURSION_MAX {
+            w = w.recurse();
+        }
+        // Depth 64 would carry into the tid bits; must panic even with
+        // debug assertions compiled out.
+        let _ = w.recurse();
+    }
+
+    #[test]
+    #[should_panic(expected = "ConvWord recursion underflow")]
+    fn conv_unrecurse_underflow_panics_in_release() {
+        let _ = ConvWord::held_by(tid(1)).unrecurse();
+    }
+
     #[test]
     fn conv_inflated_monitor_id() {
         let w = ConvWord::inflated(99);
@@ -542,6 +605,23 @@ mod tests {
         }
         assert_eq!(w.recursion(), SOLERO_RECURSION_MAX);
         assert_eq!(SOLERO_RECURSION_MAX, 31);
+        assert_eq!(w.tid(), Some(tid(1)), "tid intact at saturation");
+    }
+
+    #[test]
+    #[should_panic(expected = "SoleroWord recursion overflow")]
+    fn solero_recursion_overflow_panics_in_release() {
+        let mut w = SoleroWord::held_by(tid(1));
+        for _ in 0..SOLERO_RECURSION_MAX {
+            w = w.recurse();
+        }
+        let _ = w.recurse();
+    }
+
+    #[test]
+    #[should_panic(expected = "SoleroWord recursion underflow")]
+    fn solero_unrecurse_underflow_panics_in_release() {
+        let _ = SoleroWord::held_by(tid(1)).unrecurse();
     }
 
     #[test]

@@ -55,6 +55,122 @@ pub trait Chooser: Send {
     fn choose(&mut self, d: &Decision) -> u32;
 }
 
+/// What one scheduled step did, for the dependence (conflict) relation
+/// of dynamic partial-order reduction.
+///
+/// Read-class and write-class operations on the same address conflict
+/// when at least one is write-class; `Spawn`/`Join` never conflict with
+/// anything — they only contribute happens-before edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Non-`Relaxed` atomic load (read class).
+    Load,
+    /// `Relaxed` atomic load (read class; may observe stale stores).
+    LoadRelaxed,
+    /// Atomic store (write class).
+    Store,
+    /// Read-modify-write (write class).
+    Rmw,
+    /// Successful compare-exchange (write class).
+    CasSuccess,
+    /// Failed compare-exchange — a load of the newest value (read class).
+    CasFail,
+    /// Mutex acquisition (write class on the mutex address).
+    MutexLock,
+    /// Mutex release (write class on the mutex address).
+    MutexUnlock,
+    /// Condvar wait enqueue (write class on the condvar address).
+    CvWait,
+    /// Condvar wake-up — notified or timed out (write class on the
+    /// condvar address, so the wake is ordered after its notify).
+    CvWake,
+    /// Condvar notify (write class on the condvar address).
+    CvNotify,
+    /// Virtual-thread spawn; `addr` is the child slot (hb edge only).
+    Spawn,
+    /// Virtual-thread join; `addr` is the target slot (hb edge only).
+    Join,
+}
+
+/// Address spaces for access records. Mutex/condvar shims key their
+/// model state by the shim's own address, which can numerically collide
+/// with an atomic cell's address; tagging the space keeps the conflict
+/// relation from inventing cross-type dependencies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessSpace {
+    /// Atomic cells.
+    Atomic,
+    /// Model mutexes.
+    Mutex,
+    /// Model condvars.
+    Cv,
+    /// Thread slots (spawn/join).
+    Thread,
+}
+
+impl AccessKind {
+    /// True for operations that behave like a write for the conflict
+    /// relation. Lock and condvar operations are all write-class on
+    /// their own address — conservative, and exactly how classic DPOR
+    /// treats acquire/release.
+    pub fn is_write_class(self) -> bool {
+        matches!(
+            self,
+            AccessKind::Store
+                | AccessKind::Rmw
+                | AccessKind::CasSuccess
+                | AccessKind::MutexLock
+                | AccessKind::MutexUnlock
+                | AccessKind::CvWait
+                | AccessKind::CvWake
+                | AccessKind::CvNotify
+        )
+    }
+
+    /// True for operations that behave like a read.
+    pub fn is_read_class(self) -> bool {
+        matches!(
+            self,
+            AccessKind::Load | AccessKind::LoadRelaxed | AccessKind::CasFail
+        )
+    }
+
+    /// The address space this kind's `addr` lives in.
+    pub fn space(self) -> AccessSpace {
+        match self {
+            AccessKind::Load
+            | AccessKind::LoadRelaxed
+            | AccessKind::Store
+            | AccessKind::Rmw
+            | AccessKind::CasSuccess
+            | AccessKind::CasFail => AccessSpace::Atomic,
+            AccessKind::MutexLock | AccessKind::MutexUnlock => AccessSpace::Mutex,
+            AccessKind::CvWait | AccessKind::CvWake | AccessKind::CvNotify => AccessSpace::Cv,
+            AccessKind::Spawn | AccessKind::Join => AccessSpace::Thread,
+        }
+    }
+}
+
+/// One executed operation of an execution, in program order of the
+/// whole schedule. The runtime records these so the DPOR explorer can
+/// run its post-hoc race analysis without re-instrumenting anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepRec {
+    /// Virtual-thread slot that performed the operation.
+    pub thread: u32,
+    /// Index into the decision trace of the scheduling decision that
+    /// let this thread reach the operation, or `None` when the
+    /// scheduler had no choice (a single enabled thread). A `None`
+    /// step cannot be the target of a backtrack insertion — with one
+    /// enabled thread there was nothing else to schedule, which is
+    /// exactly the co-enabledness side condition of Flanagan–Godefroid.
+    pub decision: Option<u32>,
+    /// What the operation did.
+    pub kind: AccessKind,
+    /// Location key within [`AccessKind::space`].
+    pub addr: usize,
+}
+
 /// Per-execution limits and knobs.
 #[derive(Clone, Debug)]
 pub struct Opts {
@@ -92,6 +208,10 @@ pub struct ExecResult {
     pub truncated: bool,
     /// Scheduling points executed.
     pub steps: u64,
+    /// Every instrumented operation in schedule order, with its
+    /// decision attribution — the input to the DPOR race analysis.
+    /// Empty outside the model-checked runtime.
+    pub accesses: Vec<StepRec>,
 }
 
 /// Renders a trace as the printed, replayable string form: option

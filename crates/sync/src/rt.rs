@@ -38,7 +38,7 @@ use std::sync::{
     Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
 };
 
-use crate::model::{Chooser, Decision, ExecResult, Opts, MAX_THREADS};
+use crate::model::{AccessKind, Chooser, Decision, ExecResult, Opts, StepRec, MAX_THREADS};
 
 /// Panic payload used to tear a virtual thread down once the execution
 /// aborted (failure found, or truncation). Never reported as a panic.
@@ -149,6 +149,13 @@ struct Inner {
     locations: HashMap<usize, LocState>,
     mutexes: HashMap<usize, MutexMeta>,
     condvars: HashMap<usize, CvMeta>,
+    /// Trace index of the most recent *consulted* scheduling decision,
+    /// or `None` when the last scheduling point had a single enabled
+    /// thread. Operations record it so the DPOR analysis knows which
+    /// decision node to target with a backtrack insertion.
+    last_decision: Option<u32>,
+    /// Per-step access log for the DPOR dependence analysis.
+    accesses: Vec<StepRec>,
 }
 
 struct Shared {
@@ -298,12 +305,27 @@ impl Inner {
                 enabled.len()
             );
             self.trace.push(idx);
+            self.last_decision = Some((self.trace.len() - 1) as u32);
             enabled[idx as usize] as usize
         } else {
+            self.last_decision = None;
             enabled[0] as usize
         };
         self.grant(choice);
         Ok(choice)
+    }
+
+    /// Appends one access record, attributed to the most recent
+    /// consulted scheduling decision. Several operations may share a
+    /// decision (e.g. an unlock performed before its scheduling point);
+    /// that only makes the DPOR backtrack insertions conservative.
+    fn record(&mut self, me: usize, kind: AccessKind, addr: usize) {
+        self.accesses.push(StepRec {
+            thread: me as u32,
+            decision: self.last_decision,
+            kind,
+            addr,
+        });
     }
 
     fn ensure_loc(&mut self, addr: usize, init: u64) -> &mut LocState {
@@ -395,6 +417,15 @@ pub(crate) fn atomic_load(ctx: &Ctx, addr: usize, init: u64, relaxed: bool) -> u
     let mut g = yield_now(ctx);
     let me = ctx.me;
     g.ensure_loc(addr, init);
+    g.record(
+        me,
+        if relaxed {
+            AccessKind::LoadRelaxed
+        } else {
+            AccessKind::Load
+        },
+        addr,
+    );
     let my_clock = g.threads[me].clock.clone();
     let inner = &mut *g;
     let loc = inner.locations.get_mut(&addr).expect("just ensured");
@@ -444,6 +475,7 @@ pub(crate) fn atomic_store(ctx: &Ctx, addr: usize, init: u64, val: u64, release:
     let mut g = yield_now(ctx);
     let me = ctx.me;
     g.ensure_loc(addr, init);
+    g.record(me, AccessKind::Store, addr);
     g.threads[me].clock.tick(me);
     let clock = g.threads[me].clock.clone();
     let loc = g.locations.get_mut(&addr).expect("just ensured");
@@ -473,6 +505,7 @@ pub(crate) fn atomic_rmw(
     let mut g = yield_now(ctx);
     let me = ctx.me;
     g.ensure_loc(addr, init);
+    g.record(me, AccessKind::Rmw, addr);
     let (old, old_clock) = {
         let loc = g.locations.get_mut(&addr).expect("just ensured");
         let latest = loc.latest_abs();
@@ -515,11 +548,13 @@ pub(crate) fn atomic_cas(
         (loc.rec(latest).val, loc.rec(latest).clock.clone())
     };
     if old != current {
+        g.record(me, AccessKind::CasFail, addr);
         let loc = g.locations.get_mut(&addr).expect("just ensured");
         let latest = loc.latest_abs();
         loc.seen[me] = loc.seen[me].max(latest);
         return Err(old);
     }
+    g.record(me, AccessKind::CasSuccess, addr);
     g.threads[me].clock.join(&old_clock);
     g.threads[me].clock.tick(me);
     let clock = g.threads[me].clock.clone();
@@ -559,6 +594,7 @@ pub(crate) fn mutex_lock(ctx: &Ctx, addr: usize) {
             g = block_on(ctx, g, TState::BlockedMutex(addr));
         }
     }
+    g.record(ctx.me, AccessKind::MutexLock, addr);
     drop(g);
 }
 
@@ -572,6 +608,9 @@ pub(crate) fn mutex_unlock(ctx: &Ctx, addr: usize) {
         debug_assert_eq!(meta.owner, Some(ctx.me), "unlock by non-owner");
         meta.owner = None;
     }
+    // The release acts before its scheduling point, so it shares the
+    // previous operation's decision attribution (conservative for DPOR).
+    g.record(ctx.me, AccessKind::MutexUnlock, addr);
     // Release is itself a scheduling point so a waiter can run next.
     match g.pick_next(ctx.me) {
         Err(()) => {
@@ -609,9 +648,12 @@ pub(crate) fn cv_wait(ctx: &Ctx, cv_addr: usize, mx_addr: usize, timed: bool) ->
         .expect("condvar wait without a locked mutex");
     debug_assert_eq!(meta.owner, Some(ctx.me), "wait by non-owner");
     meta.owner = None;
+    g.record(ctx.me, AccessKind::CvWait, cv_addr);
+    g.record(ctx.me, AccessKind::MutexUnlock, mx_addr);
     g.condvars.entry(cv_addr).or_default().waiters.push(ctx.me);
     g.threads[ctx.me].wake_notified = false;
     g = block_on(ctx, g, TState::BlockedCv { timed });
+    g.record(ctx.me, AccessKind::CvWake, cv_addr);
     let notified = g.threads[ctx.me].wake_notified;
     g.threads[ctx.me].wake_notified = false;
     if !notified {
@@ -628,12 +670,14 @@ pub(crate) fn cv_wait(ctx: &Ctx, cv_addr: usize, mx_addr: usize, timed: bool) ->
             g = block_on(ctx, g, TState::BlockedMutex(mx_addr));
         }
     }
+    g.record(ctx.me, AccessKind::MutexLock, mx_addr);
     drop(g);
     !notified
 }
 
 pub(crate) fn cv_notify(ctx: &Ctx, cv_addr: usize, all: bool) {
     let mut g = yield_now(ctx);
+    g.record(ctx.me, AccessKind::CvNotify, cv_addr);
     let inner = &mut *g;
     if let Some(cvm) = inner.condvars.get_mut(&cv_addr) {
         if all {
@@ -688,6 +732,7 @@ where
             timeout_budget: budget,
         });
         g.live += 1;
+        g.record(ctx.me, AccessKind::Spawn, slot);
         let shared2 = Arc::clone(&ctx.shared);
         let res2 = Arc::clone(&result);
         let os = std::thread::Builder::new()
@@ -717,6 +762,7 @@ impl<T> JoinHandle<T> {
         if !matches!(g.threads[self.slot].state, TState::Finished) {
             g = block_on(&ctx, g, TState::BlockedJoin(self.slot));
         }
+        g.record(ctx.me, AccessKind::Join, self.slot);
         drop(g);
         let v = self
             .result
@@ -838,6 +884,8 @@ pub fn run_execution(
             locations: HashMap::new(),
             mutexes: HashMap::new(),
             condvars: HashMap::new(),
+            last_decision: None,
+            accesses: Vec::new(),
         }),
         cv: StdCondvar::new(),
     });
@@ -868,5 +916,6 @@ pub fn run_execution(
         trace: g.trace.clone(),
         truncated: g.truncated,
         steps: g.steps,
+        accesses: g.accesses.clone(),
     }
 }

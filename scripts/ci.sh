@@ -19,6 +19,12 @@ cargo build --release --offline --workspace
 echo "== tier-1: offline test suite (default seeds) =="
 cargo test -q --offline --workspace
 
+# The recursion-bound contracts in solero-runtime::word are real
+# assertions, not debug_asserts; running the suite on the release
+# profile proves they still fire with debug assertions compiled out.
+echo "== tier-1: release-profile runtime asserts (recursion bounds) =="
+cargo test -q --offline --release -p solero-runtime --lib
+
 echo "== tier-1: bench targets compile behind the criterion feature =="
 cargo build -q --offline -p solero-bench --benches --features criterion
 
@@ -37,12 +43,17 @@ rm -f results/obs.jsonl
 # feature unification can never leak the scheduler into normal builds;
 # the separate target dir keeps the two build graphs' caches apart.
 #
-# Budgets: the 2-thread scenarios are explored exhaustively (bounded
-# preemption); 3-thread scenarios use seeded random sampling. Both
-# accept overrides — SOLERO_MC_SEED re-seeds the sampling mode and
-# SOLERO_MC_BUDGET caps executions per scenario — so a failing schedule
-# printed in CI can be replayed locally byte-for-byte.
-echo "== tier-1: model checker (exhaustive 2-thread, seeded 3-thread) =="
+# Budgets: 2-thread protocol scenarios are explored exhaustively
+# (bounded preemption); the 3-thread collections scenarios (hashmap
+# rehash, treemap rotation vs. elided readers) are drained under
+# dynamic partial-order reduction, and tests/dpor_reduction.rs prints
+# the before/after explored-executions count for the same scenarios
+# under plain DFS. Both accept overrides — SOLERO_MC_SEED re-seeds the
+# sampling mode and SOLERO_MC_BUDGET caps executions per scenario — so
+# a failing schedule printed in CI can be replayed locally
+# byte-for-byte. This run is uncapped: completeness assertions are
+# live.
+echo "== tier-1: model checker (exhaustive 2-thread, DPOR 3-thread) =="
 RUSTFLAGS="--cfg solero_mc" CARGO_TARGET_DIR=target/mc \
     cargo test -q --offline -p solero-sync -p solero-mc
 
@@ -54,6 +65,19 @@ echo "== tier-1: mc mutation-kill (each weakened protocol must fail) =="
 RUSTFLAGS="--cfg solero_mc" CARGO_TARGET_DIR=target/mc \
     cargo test -q --offline -p solero-mc --test mutation_kill
 
+# Budgeted DPOR collections pass: the same rehash/rotation scenarios,
+# re-run under a pinned seed with SOLERO_MC_BUDGET capping every
+# search. This proves the budget knob keeps the step inside a fixed
+# CI cost even if a scenario's state space regresses — the uncapped
+# completeness run already happened in the main mc step above.
+echo "== tier-1: mc collections under DPOR (budgeted, pinned seed) =="
+SOLERO_MC_SEED=0x5EED0004 SOLERO_MC_BUDGET=6000 RUST_BACKTRACE=0 \
+    RUSTFLAGS="--cfg solero_mc" CARGO_TARGET_DIR=target/mc \
+    cargo test -q --offline -p solero-mc \
+    --test collections_mc --test dpor_reduction \
+    -- --nocapture --test-threads=1 \
+    | grep -E "mc\[|test result"
+
 # Replay the concurrency stress and property suites under a pinned seed
 # matrix: different roots exercise different schedules/cases, and every
 # one of them is reproducible by exporting the printed seed.
@@ -62,6 +86,7 @@ for seed in "${PINNED_SEEDS[@]}"; do
     echo "== stress/property replay: SOLERO_TESTKIT_SEED=${seed} =="
     SOLERO_TESTKIT_SEED="${seed}" cargo test -q --offline \
         --test read_elision_stress \
+        --test collections_contention_stress \
         --test fallback_starvation
     SOLERO_TESTKIT_SEED="${seed}" cargo test -q --offline \
         -p solero \

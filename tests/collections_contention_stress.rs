@@ -1,0 +1,187 @@
+//! Structural-churn stress (ISSUE 4 satellite): rehashes and tree
+//! rotations are forced to happen *while* elided readers are inside the
+//! structures, on the native scheduler — the stochastic companion to
+//! the model-checked scenarios in crates/mc/tests/collections_mc.rs.
+//!
+//! The `JHashMap` starts at the minimum capacity (2) so the write load
+//! drives it through the whole doubling ladder under reader fire, with
+//! extra explicit `force_resize` calls sprinkled in; the `JTreeMap`
+//! churns inserts/removes that keep re-balancing the tree. At teardown
+//! the PR-2 abort-taxonomy invariants must hold: every abort classified
+//! exactly once, fallbacks matching retry exhaustion, and inflation
+//! aborts only ever caused by real inflations.
+//!
+//! Driven by [`solero_testkit::stress`] over the fixed root-seed matrix
+//! (`SOLERO_TESTKIT_SEED` overrides it).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use solero::{Checkpoint, SoleroStrategy, SyncStrategy};
+use solero_collections::{JHashMap, JTreeMap, MAP_CLASS};
+use solero_heap::Heap;
+use solero_testkit::{seed_matrix, seed_override, stress, StressConfig};
+
+/// Invariant: key `k` only ever maps to `k * MULT`.
+const MULT: i64 = 1_000_003;
+/// Small key space maximizes structural collisions.
+const KEYS: i64 = 192;
+/// Operations per worker per round.
+const OPS: usize = 2_500;
+/// Workers 0..WRITERS mutate; the rest read speculatively.
+const WRITERS: usize = 2;
+const THREADS: usize = 6;
+const ROUNDS: usize = 3;
+/// Forced rehashes stop doubling past this capacity so the doubling
+/// ladder stays bounded however many writers pile on.
+const MAX_FORCED_CAP: u32 = 2_048;
+
+fn run_matrix(name: &str, root: u64, mut round: impl FnMut(&str, u64)) {
+    for (i, seed) in seed_matrix(seed_override(root), 3).into_iter().enumerate() {
+        round(&format!("{name}-m{i}"), seed);
+    }
+}
+
+/// Teardown check shared by both structures: the abort taxonomy from
+/// the PR-2 observability layer must balance exactly.
+fn assert_taxonomy(strat: &SoleroStrategy) {
+    let s = strat.snapshot();
+    assert_eq!(
+        s.read_aborts,
+        s.abort_reason_sum(),
+        "every abort classified exactly once: {s:?}"
+    );
+    assert_eq!(s.fallback_acquires, s.abort_retry_exhausted, "{s:?}");
+    if s.abort_inflation > 0 {
+        assert!(s.inflations > 0, "inflation aborts require an inflation: {s:?}");
+    }
+}
+
+#[test]
+fn hashmap_rehash_storm_under_elided_readers() {
+    run_matrix("rehash-storm", 0x5EED_AB01, |name, seed| {
+        let heap = Heap::new(1 << 22);
+        // Minimum capacity: the very first inserts already cross the
+        // load factor, so readers race the rehash from the start.
+        let map = JHashMap::new(&heap, 2).unwrap();
+        let strat = SoleroStrategy::new();
+        let validated_reads = AtomicU64::new(0);
+
+        stress(name, &StressConfig::new(THREADS, ROUNDS, seed), |w| {
+            if w.id < WRITERS {
+                for op in 0..OPS {
+                    let k = w.rng.gen_range(0..KEYS);
+                    if op % 500 == 250 {
+                        // Extra swap-and-free windows beyond the ones
+                        // the load factor produces, capacity-gated so
+                        // concurrent forcing cannot double unboundedly.
+                        strat.write_section(|| {
+                            let table = heap.load_ref(map.root(), MAP_CLASS, 0).unwrap();
+                            if heap.len_of(table).unwrap() < MAX_FORCED_CAP {
+                                map.force_resize(&heap).unwrap();
+                            }
+                        });
+                    } else if w.rng.gen_bool(0.25) {
+                        strat.write_section(|| {
+                            map.remove(&heap, k).unwrap();
+                        });
+                    } else {
+                        strat.write_section(|| {
+                            map.put(&heap, k, k * MULT).unwrap();
+                        });
+                    }
+                }
+            } else {
+                for _ in 0..OPS {
+                    let k = w.rng.gen_range(0..KEYS);
+                    let got = strat
+                        .read_section(|ck| map.get(&heap, k, ck as &mut dyn Checkpoint))
+                        .expect("no genuine faults in a pure read");
+                    if let Some(v) = got {
+                        assert_eq!(v, k * MULT, "validated read of key {k} mid-rehash is torn");
+                    }
+                    validated_reads.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+
+        // The storm really happened: the table left its seed capacity.
+        let table = heap.load_ref(map.root(), MAP_CLASS, 0).unwrap();
+        assert!(heap.len_of(table).unwrap() >= 4, "no rehash ever ran");
+        // Quiescent sweep: surviving entries still honor the invariant.
+        for k in 0..KEYS {
+            let got = strat
+                .read_section(|ck| map.get(&heap, k, ck as &mut dyn Checkpoint))
+                .unwrap();
+            if let Some(v) = got {
+                assert_eq!(v, k * MULT);
+            }
+        }
+        let expected_reads = ((THREADS - WRITERS) * ROUNDS * OPS) as u64;
+        assert_eq!(validated_reads.load(Ordering::Relaxed), expected_reads);
+        assert_taxonomy(&strat);
+    });
+}
+
+#[test]
+fn treemap_rotation_churn_under_elided_readers() {
+    run_matrix("rotation-churn", 0x5EED_AB02, |name, seed| {
+        let heap = Heap::new(1 << 22);
+        let map = JTreeMap::new(&heap).unwrap();
+        let strat = SoleroStrategy::new();
+        let validated_reads = AtomicU64::new(0);
+
+        stress(name, &StressConfig::new(THREADS, ROUNDS, seed), |w| {
+            if w.id < WRITERS {
+                for _ in 0..OPS {
+                    let k = w.rng.gen_range(0..KEYS);
+                    // Heavier remove share than the hashmap storm:
+                    // deletions exercise the other rebalancing paths
+                    // (recoloring plus both rotation directions).
+                    if w.rng.gen_bool(0.4) {
+                        strat.write_section(|| {
+                            map.remove(&heap, k).unwrap();
+                        });
+                    } else {
+                        strat.write_section(|| {
+                            map.put(&heap, k, k * MULT).unwrap();
+                        });
+                    }
+                }
+            } else {
+                for _ in 0..OPS {
+                    let k = w.rng.gen_range(0..KEYS);
+                    let snap = strat
+                        .read_section(|ck| {
+                            let v = map.get(&heap, k, &mut *ck as &mut dyn Checkpoint)?;
+                            let first = map.first_key(&heap, &mut *ck as &mut dyn Checkpoint)?;
+                            Ok((v, first))
+                        })
+                        .expect("no genuine faults in a pure read");
+                    if let Some(v) = snap.0 {
+                        assert_eq!(v, k * MULT, "validated read of key {k} mid-rotation is torn");
+                        // Coherent snapshot: key k was present, so the
+                        // minimum the same section saw can be at most k.
+                        let first = snap.1.expect("key k present but tree seen empty");
+                        assert!(first <= k, "first_key {first} > present key {k}");
+                    }
+                    validated_reads.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+
+        // Quiescent integrity: churn left a legal red-black tree with
+        // the value invariant intact.
+        map.check_invariants(&heap).unwrap();
+        for k in 0..KEYS {
+            let got = strat
+                .read_section(|ck| map.get(&heap, k, ck as &mut dyn Checkpoint))
+                .unwrap();
+            if let Some(v) = got {
+                assert_eq!(v, k * MULT);
+            }
+        }
+        let expected_reads = ((THREADS - WRITERS) * ROUNDS * OPS) as u64;
+        assert_eq!(validated_reads.load(Ordering::Relaxed), expected_reads);
+        assert_taxonomy(&strat);
+    });
+}
