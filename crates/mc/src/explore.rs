@@ -423,6 +423,13 @@ impl DporCore {
                 }
                 continue;
             }
+            if !s.kind.is_write_class() && !s.kind.is_read_class() {
+                // Fences: they order the issuing thread's own accesses
+                // but are not themselves reads or writes of a location,
+                // so they never participate in a conflict pair.
+                clocks[p][p] = k + 1;
+                continue;
+            }
             let loc = locs.entry((space, s.addr)).or_default();
             if s.kind.is_write_class() {
                 if let Some((tw, jw, _)) = &loc.w {

@@ -21,7 +21,7 @@
 //! reproducing the paper's **WeakBarrier-SOLERO** measurement (the cost
 //! of the extra ordering), *not* a correct configuration.
 
-use core::sync::atomic::{fence, Ordering};
+use solero_sync::atomic::{fence, Ordering};
 
 /// Which fences the read-only fast path issues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +43,12 @@ pub enum BarrierMode {
 /// drains the store buffer like `mfence` but retires faster because the
 /// target line is always exclusive in L1. Elsewhere it is a `SeqCst`
 /// fence.
+///
+/// Under `--cfg solero_mc` the asm block would be invisible to the
+/// cooperative scheduler (the §3.4 barrier the checker exists to test
+/// would vanish from the model), so the barrier routes through the
+/// `solero-sync` shim instead.
+#[cfg(not(solero_mc))]
 #[inline]
 pub fn storeload_fence() {
     #[cfg(target_arch = "x86_64")]
@@ -55,6 +61,14 @@ pub fn storeload_fence() {
     }
     #[cfg(not(target_arch = "x86_64"))]
     fence(Ordering::SeqCst);
+}
+
+/// Model-checked Store→Load barrier: a first-class scheduler op (see
+/// the non-mc variant above for the hardware idiom this stands in for).
+#[cfg(solero_mc)]
+#[inline]
+pub fn storeload_fence() {
+    solero_sync::shim::storeload_fence();
 }
 
 impl BarrierMode {

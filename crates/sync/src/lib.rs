@@ -40,9 +40,12 @@ pub mod shim;
 
 #[cfg(solero_mc)]
 pub mod atomic {
-    //! Instrumented atomics (model-checking builds).
-    pub use crate::shim::{AtomicU64, AtomicUsize, Ordering};
-    pub use std::sync::atomic::{fence, AtomicBool, AtomicU32};
+    //! Instrumented atomics (model-checking builds). `fence` routes
+    //! through the shim so the scheduler sees every barrier the
+    //! protocol issues (the §3.4 entry fence is protocol-critical and
+    //! must be a first-class scheduler op, not an invisible intrinsic).
+    pub use crate::shim::{fence, AtomicU64, AtomicUsize, Ordering};
+    pub use std::sync::atomic::{AtomicBool, AtomicU32};
 }
 
 #[cfg(solero_mc)]

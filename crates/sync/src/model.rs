@@ -90,6 +90,13 @@ pub enum AccessKind {
     Spawn,
     /// Virtual-thread join; `addr` is the target slot (hb edge only).
     Join,
+    /// `atomic::fence(ord)` through the facade. Orders the issuing
+    /// thread's own operations (a drain point under the weak-memory
+    /// mode when `SeqCst`); conflicts with nothing by itself.
+    Fence,
+    /// The modeled Store→Load barrier (`storeload_fence`): always a
+    /// full drain of the issuing thread's store buffer.
+    StoreLoadFence,
 }
 
 /// Address spaces for access records. Mutex/condvar shims key their
@@ -106,6 +113,8 @@ pub enum AccessSpace {
     Cv,
     /// Thread slots (spawn/join).
     Thread,
+    /// Fences (no location; `addr` is always 0).
+    Fence,
 }
 
 impl AccessKind {
@@ -147,6 +156,7 @@ impl AccessKind {
             AccessKind::MutexLock | AccessKind::MutexUnlock => AccessSpace::Mutex,
             AccessKind::CvWait | AccessKind::CvWake | AccessKind::CvNotify => AccessSpace::Cv,
             AccessKind::Spawn | AccessKind::Join => AccessSpace::Thread,
+            AccessKind::Fence | AccessKind::StoreLoadFence => AccessSpace::Fence,
         }
     }
 }

@@ -574,6 +574,26 @@ pub(crate) fn atomic_cas(
     Ok(old)
 }
 
+// ------------------------------------------------------------- fence ops
+
+/// `atomic::fence(ord)` through the facade: a scheduling point the
+/// explorer can see. Under the sequentially consistent base model the
+/// fence itself adds nothing further.
+pub(crate) fn fence_op(ctx: &Ctx, _seq_cst: bool) {
+    let mut g = yield_now(ctx);
+    g.record(ctx.me, AccessKind::Fence, 0);
+    drop(g);
+}
+
+/// The modeled Store→Load barrier (`storeload_fence`): recorded with
+/// its own access kind so fence-sensitive scenarios can assert the
+/// barrier was actually issued.
+pub(crate) fn storeload_fence_op(ctx: &Ctx) {
+    let mut g = yield_now(ctx);
+    g.record(ctx.me, AccessKind::StoreLoadFence, 0);
+    drop(g);
+}
+
 // ------------------------------------------------------------- mutex ops
 
 pub(crate) fn mutex_lock(ctx: &Ctx, addr: usize) {

@@ -23,6 +23,27 @@ use crate::rt;
 
 pub use std::sync::atomic::Ordering;
 
+/// Instrumented `atomic::fence`: inside an execution it is a scheduling
+/// point the checker records (and, under the weak-memory mode, a drain
+/// point for `SeqCst`); outside it is the plain `std` fence.
+pub fn fence(order: Ordering) {
+    match rt::cur_ctx() {
+        None => std::sync::atomic::fence(order),
+        Some(ctx) => rt::fence_op(&ctx, matches!(order, Ordering::SeqCst)),
+    }
+}
+
+/// Instrumented Store→Load barrier. The real implementation lives in
+/// `solero-runtime::fence` (x86 `lock add [rsp], 0`); model-checked
+/// builds route here so the scheduler sees the barrier instead of an
+/// opaque asm block.
+pub fn storeload_fence() {
+    match rt::cur_ctx() {
+        None => std::sync::atomic::fence(Ordering::SeqCst),
+        Some(ctx) => rt::storeload_fence_op(&ctx),
+    }
+}
+
 #[inline]
 fn is_relaxed(o: Ordering) -> bool {
     matches!(o, Ordering::Relaxed)
