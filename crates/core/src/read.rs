@@ -251,9 +251,13 @@ impl SoleroLock {
                     return Settled::Done(Err(fault));
                 }
                 if fault == Fault::UpgradeFailed {
-                    // Figure 17, line 13: go straight to fallback.
+                    // Figure 17, line 13: go straight to fallback. The
+                    // abort is counted once, by the fallback branch of
+                    // read_resume (RetryExhaustedFallback) — counting
+                    // WordChangedAtExit here too would double-book the
+                    // same abort and break
+                    // `read_aborts == abort_reason_sum()`.
                     self.stats.elision_failure.fetch_add(1, Ordering::Relaxed);
-                    self.note_abort(AbortReason::WordChangedAtExit);
                     return Settled::Retry(self.config.fallback_threshold.max(1));
                 }
                 // Catch-block validation (§3.3): unchanged word means

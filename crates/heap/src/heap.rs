@@ -318,6 +318,57 @@ impl Heap {
         Ok(())
     }
 
+    /// Plain-mode load of slot `idx` — the model of an ordinary Java
+    /// field read (`getfield` of a non-volatile field): no acquire
+    /// ordering at all, so a speculative reader's safety rests
+    /// entirely on the lock's barriers and exit validation. The
+    /// regular [`Heap::load`] is `Acquire`, which on its own rescues
+    /// some torn reads the protocol's validation is supposed to catch;
+    /// mutation-kill scenarios use the plain accessors so weakened
+    /// validation cannot hide behind the data loads.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Heap::load`].
+    #[inline]
+    pub fn load_plain(&self, r: ObjRef, expected: ClassId, idx: u32) -> Result<u64, Fault> {
+        let h = self.header(r)?;
+        if h.class() != expected {
+            return Err(Fault::ClassCast {
+                expected: expected.raw() as u32,
+                found: h.class().raw() as u32,
+            });
+        }
+        if idx >= h.len() {
+            return Err(Fault::IndexOutOfBounds {
+                index: idx as i64,
+                len: h.len(),
+            });
+        }
+        Ok(self.mem[r.0 as usize + 1 + idx as usize].load(Ordering::Relaxed))
+    }
+
+    /// Plain-mode store into slot `idx` — the model of an ordinary
+    /// Java field write (`putfield` of a non-volatile field). See
+    /// [`Heap::load_plain`]; the writer relies on the lock's release
+    /// for publication.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Heap::store`].
+    #[inline]
+    pub fn store_plain(&self, r: ObjRef, idx: u32, value: u64) -> Result<(), Fault> {
+        let h = self.header(r)?;
+        if idx >= h.len() {
+            return Err(Fault::IndexOutOfBounds {
+                index: idx as i64,
+                len: h.len(),
+            });
+        }
+        self.mem[r.0 as usize + 1 + idx as usize].store(value, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Walks the whole arena validating that object headers tile it
     /// exactly (every allocation or freed region is accounted for, no
     /// overlaps, all lengths in range). Writers must be quiescent.

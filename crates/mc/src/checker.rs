@@ -72,6 +72,7 @@ pub struct Checker {
     max_steps: u64,
     timeout_budget: u32,
     max_executions: u64,
+    weak_memory: bool,
 }
 
 impl Checker {
@@ -84,6 +85,7 @@ impl Checker {
             max_steps: 20_000,
             timeout_budget: 3,
             max_executions: 200_000,
+            weak_memory: false,
         }
     }
 
@@ -99,6 +101,7 @@ impl Checker {
             max_steps: 20_000,
             timeout_budget: 3,
             max_executions: 200_000,
+            weak_memory: false,
         }
     }
 
@@ -112,6 +115,7 @@ impl Checker {
             max_steps: 20_000,
             timeout_budget: 3,
             max_executions: u64::MAX,
+            weak_memory: false,
         }
     }
 
@@ -128,7 +132,18 @@ impl Checker {
             max_steps: 20_000,
             timeout_budget: 3,
             max_executions: 1,
+            weak_memory: false,
         }
+    }
+
+    /// Explore under the TSO-style weak-memory model: stores buffer
+    /// per-thread and commit at scheduler-chosen flush points (see
+    /// `solero_sync::model::Opts::weak_memory`). A violation trace
+    /// found under weak memory must be replayed with `weak_memory(true)`
+    /// too — the option indices include flush choices.
+    pub fn weak_memory(mut self, on: bool) -> Self {
+        self.weak_memory = on;
+        self
     }
 
     /// Preemption budget per schedule (`None` = unbounded).
@@ -169,6 +184,7 @@ impl Checker {
         let opts = Opts {
             max_steps: self.max_steps,
             timeout_budget: self.timeout_budget,
+            weak_memory: self.weak_memory,
         };
         let budget = env_u64("SOLERO_MC_BUDGET").unwrap_or(self.max_executions);
 

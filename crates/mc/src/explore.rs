@@ -185,15 +185,22 @@ impl Chooser for RandomChooser {
 
 // ---------------------------------------------------------------- DPOR
 
+/// Analysis thread-id width: the real slots plus one flush
+/// pseudo-thread per slot (`FLUSH_BASE + t`, weak-memory mode). A
+/// flush is an independently schedulable event, so it gets its own
+/// clock component — reversing a flush against a racing access must
+/// not imply reordering the owner's program steps.
+const ATHREADS: usize = 2 * MAX_THREADS;
+
 /// Step-index vector clock for the post-hoc race analysis. Component
 /// `t` holds `j + 1` where `j` is the highest step index of thread `t`
 /// that happens-before the clock's owner (0 ⇒ none). Step `j` of
 /// thread `t` is concurrent with a point whose clock is `c` iff
 /// `j >= c[t]`.
-type StepClock = [usize; MAX_THREADS];
+type StepClock = [usize; ATHREADS];
 
 fn clock_join(a: &mut StepClock, b: &StepClock) {
-    for i in 0..MAX_THREADS {
+    for i in 0..ATHREADS {
         a[i] = a[i].max(b[i]);
     }
 }
@@ -402,12 +409,12 @@ impl DporCore {
     /// become backtrack insertions at the decision that scheduled the
     /// earlier step.
     fn analyze(&mut self, steps: &[StepRec]) {
-        let mut clocks = [[0usize; MAX_THREADS]; MAX_THREADS];
+        let mut clocks = [[0usize; ATHREADS]; ATHREADS];
         let mut locs: HashMap<(AccessSpace, usize), LocAnal> = HashMap::new();
         // `(earlier step index, later thread)` conflict pairs.
         let mut races: Vec<(usize, u32)> = Vec::new();
         for (k, s) in steps.iter().enumerate() {
-            let p = (s.thread as usize).min(MAX_THREADS - 1);
+            let p = (s.thread as usize).min(ATHREADS - 1);
             let space = s.kind.space();
             if space == AccessSpace::Thread {
                 // Spawn/join: pure happens-before edges, no conflicts.
@@ -451,7 +458,7 @@ impl DporCore {
                 clocks[p][p] = k + 1;
                 loc.w = Some((p, k, clocks[p]));
                 loc.reads.clear();
-                loc.racc = [0; MAX_THREADS];
+                loc.racc = [0; ATHREADS];
             } else {
                 if let Some((tw, jw, cw)) = &loc.w {
                     if *tw != p && *jw >= clocks[p][*tw] {

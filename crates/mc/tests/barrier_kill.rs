@@ -1,0 +1,196 @@
+//! Mutation-testing the §3.4 barrier table itself, under the
+//! weak-memory mode.
+//!
+//! The paper's barrier argument is invisible to a sequentially
+//! consistent checker: dropping the read-entry Store→Load fence
+//! (`BarrierMode::Weak`, the paper's deliberately incorrect
+//! WeakBarrier-SOLERO configuration) changes nothing when stores are
+//! never buffered. Under `Checker::weak_memory(true)` the checker must
+//!
+//!  * find and deterministically replay a publication violation with
+//!    the Weak barrier,
+//!  * drain the identical scenario clean with the Strong barrier, and
+//!  * kill the `WEAK_EXIT_LOAD` protocol mutation directly on the
+//!    plain-access torn-pair scenario.
+//!
+//! Lives in its own test binary because the mutation switch is
+//! process-global. Build with `RUSTFLAGS="--cfg solero_mc"`.
+#![cfg(solero_mc)]
+
+use std::sync::Arc;
+
+use solero::{mutation, Fault, SoleroConfig, SoleroLock};
+use solero_heap::{ClassId, Heap};
+use solero_mc::{spawn, Checker};
+use solero_runtime::spin::SpinConfig;
+use solero_sync::atomic::{AtomicU64, Ordering};
+
+/// The §3.4 read-only-entry litmus. Thread A publishes `x` with an
+/// ordinary release store and then runs a read-only section; the Java
+/// lock contract says that store must be visible to anyone the section
+/// synchronizes with. Thread B, under the write lock, publishes `y`
+/// and reads `x`. With the Strong entry barrier (a Store→Load fence
+/// between A's store and its section loads) at least one side must see
+/// the other's store; with the Weak barrier A's store can linger in
+/// its buffer past its whole validated section — the outcome
+/// `(ra, rb) == (0, 0)` the paper's fence exists to forbid.
+fn read_entry_scenario(weak_barrier: bool) {
+    let x = Arc::new(AtomicU64::new(0));
+    let y = Arc::new(AtomicU64::new(0));
+    let lock = Arc::new(SoleroLock::with_config(
+        SoleroConfig::builder()
+            .spin(SpinConfig::immediate())
+            .weak_barrier(weak_barrier)
+            .build(),
+    ));
+
+    let a = {
+        let (x, y, lock) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&lock));
+        spawn(move || {
+            x.store(1, Ordering::Release);
+            lock.read_only(|_| Ok::<_, Fault>(y.load(Ordering::Acquire)))
+                .expect("no genuine faults in this scenario")
+        })
+    };
+    let b = {
+        let (x, y, lock) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&lock));
+        spawn(move || {
+            lock.write(|| {
+                y.store(1, Ordering::Release);
+                x.load(Ordering::Acquire)
+            })
+        })
+    };
+    let ra = a.join();
+    let rb = b.join();
+    assert!(
+        ra == 1 || rb == 1,
+        "read-entry barrier violated: both publications invisible (ra={ra}, rb={rb})"
+    );
+}
+
+fn read_entry_weak() {
+    read_entry_scenario(true)
+}
+
+fn read_entry_strong() {
+    read_entry_scenario(false)
+}
+
+/// Same plain-access torn-pair scenario as tests/mutation_kill.rs:
+/// ordinary field reads whose safety rests entirely on the exit
+/// validation load — the access shape `WEAK_EXIT_LOAD` must die on.
+fn torn_pair_plain_scenario() {
+    const PAIR: ClassId = ClassId::new(7);
+    let heap = Arc::new(Heap::new(64));
+    let obj = heap.alloc(PAIR, 2).expect("scenario heap is large enough");
+    heap.store_plain(obj, 0, 10).unwrap();
+    heap.store_plain(obj, 1, 10).unwrap();
+    let lock = Arc::new(SoleroLock::with_config(
+        SoleroConfig::builder().spin(SpinConfig::immediate()).build(),
+    ));
+
+    let writer = {
+        let (heap, lock) = (Arc::clone(&heap), Arc::clone(&lock));
+        spawn(move || {
+            lock.write(|| {
+                heap.store_plain(obj, 0, 11).unwrap();
+                heap.store_plain(obj, 1, 11).unwrap();
+            });
+        })
+    };
+    let reader = {
+        let (heap, lock) = (Arc::clone(&heap), Arc::clone(&lock));
+        spawn(move || {
+            let pair = lock
+                .read_only(|_| {
+                    let a = heap.load_plain(obj, PAIR, 0)?;
+                    let b = heap.load_plain(obj, PAIR, 1)?;
+                    Ok::<_, Fault>((a, b))
+                })
+                .expect("no genuine faults in this scenario");
+            assert_eq!(pair.0, pair.1, "validated torn read {pair:?}");
+        })
+    };
+    writer.join();
+    reader.join();
+}
+
+fn checker() -> Checker {
+    Checker::exhaustive()
+        .preemption_bound(Some(2))
+        .weak_memory(true)
+}
+
+/// One test so the process-global mutation switch is only ever flipped
+/// sequentially (same pattern as tests/mutation_kill.rs).
+#[test]
+fn weak_barrier_and_weak_exit_load_die_under_weak_memory() {
+    // Strong barrier: the identical scenario drains clean.
+    let stats = checker()
+        .check("read_entry_strong", read_entry_strong)
+        .expect("the Strong entry barrier must forbid the (0, 0) outcome");
+    assert!(
+        stats.complete || solero_mc::budget_overridden(),
+        "strong-barrier search must exhaust its space"
+    );
+
+    // Weak barrier: the checker must exhibit the §3.4 violation…
+    let violation = match checker().check("read_entry_weak", read_entry_weak) {
+        Err(v) => v,
+        Ok(_) if solero_mc::budget_overridden() => {
+            eprintln!("mc[read_entry_weak] kill skipped: SOLERO_MC_BUDGET capped the search");
+            return;
+        }
+        Ok(_) => panic!("WeakBarrier-SOLERO survived: the entry fence is not load-bearing"),
+    };
+    assert!(
+        violation.message.contains("read-entry barrier violated"),
+        "unexpected failure: {violation}"
+    );
+    println!("killed weak_barrier: {violation}");
+
+    // …and replay it deterministically (twice).
+    for _ in 0..2 {
+        let replayed = Checker::replay(&violation.trace)
+            .weak_memory(true)
+            .check("read_entry_weak", read_entry_weak)
+            .expect_err("recorded trace must reproduce the barrier violation");
+        assert_eq!(replayed.message, violation.message, "replay diverged");
+    }
+
+    // The exit-validation mutation also dies under weak memory, on the
+    // plain-access scenario directly: baseline clean, mutant killed.
+    checker()
+        .check("torn_pair_plain_baseline", torn_pair_plain_scenario)
+        .expect("unmutated protocol must be correct under weak memory");
+
+    mutation::set(mutation::WEAK_EXIT_LOAD);
+    let violation = match checker().check("weak_exit_load", torn_pair_plain_scenario) {
+        Err(v) => v,
+        Ok(_) if solero_mc::budget_overridden() => {
+            eprintln!("mc[weak_exit_load] kill skipped: SOLERO_MC_BUDGET capped the search");
+            mutation::set(mutation::NONE);
+            return;
+        }
+        Ok(_) => panic!("weak_exit_load survived a full weak-memory search"),
+    };
+    assert!(
+        violation.message.contains("torn read"),
+        "weak_exit_load must die on the torn-read assert, got: {violation}"
+    );
+    println!("killed weak_exit_load: {violation}");
+    for _ in 0..2 {
+        let replayed = Checker::replay(&violation.trace)
+            .weak_memory(true)
+            .check("weak_exit_load", torn_pair_plain_scenario)
+            .expect_err("recorded trace must reproduce the kill");
+        assert_eq!(replayed.message, violation.message, "replay diverged");
+    }
+    mutation::set(mutation::NONE);
+
+    // Switch off again: the protocol passes.
+    checker()
+        .check("torn_pair_plain_after", torn_pair_plain_scenario)
+        .expect("protocol must pass once mutations are reset");
+}

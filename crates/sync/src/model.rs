@@ -12,6 +12,15 @@
 /// the checkers run fits in 3–4 threads.
 pub const MAX_THREADS: usize = 8;
 
+/// First pseudo-thread id used for store-buffer flush options under the
+/// weak-memory mode ([`Opts::weak_memory`]). A [`Decision::Thread`]
+/// option `FLUSH_BASE + t` means "apply the oldest buffered store of
+/// virtual thread `t` to memory" rather than "run thread `t`". Flush
+/// pseudo-ids also appear as [`StepRec::thread`] on
+/// [`AccessKind::StoreFlush`] records so the DPOR analysis can reorder
+/// a flush independently of its issuing thread.
+pub const FLUSH_BASE: usize = MAX_THREADS;
+
 /// One point in an execution where more than one continuation exists.
 ///
 /// The scheduler consults the [`Chooser`] *only* when there are at
@@ -97,6 +106,16 @@ pub enum AccessKind {
     /// The modeled Store→Load barrier (`storeload_fence`): always a
     /// full drain of the issuing thread's store buffer.
     StoreLoadFence,
+    /// Weak-memory mode only: a store deposited into the issuing
+    /// thread's store buffer. Not yet visible to anyone else, so it is
+    /// neither read- nor write-class; the conflict-relevant write is
+    /// the later [`AccessKind::StoreFlush`].
+    StoreBuffered,
+    /// Weak-memory mode only: a buffered store becoming globally
+    /// visible (write class). Attributed to pseudo-thread
+    /// [`FLUSH_BASE`]` + owner` so DPOR can reverse a flush against a
+    /// racing access without also reordering the owner's program.
+    StoreFlush,
 }
 
 /// Address spaces for access records. Mutex/condvar shims key their
@@ -126,6 +145,7 @@ impl AccessKind {
         matches!(
             self,
             AccessKind::Store
+                | AccessKind::StoreFlush
                 | AccessKind::Rmw
                 | AccessKind::CasSuccess
                 | AccessKind::MutexLock
@@ -150,6 +170,8 @@ impl AccessKind {
             AccessKind::Load
             | AccessKind::LoadRelaxed
             | AccessKind::Store
+            | AccessKind::StoreBuffered
+            | AccessKind::StoreFlush
             | AccessKind::Rmw
             | AccessKind::CasSuccess
             | AccessKind::CasFail => AccessSpace::Atomic,
@@ -193,6 +215,14 @@ pub struct Opts {
     /// liveness backstop (FLC re-checks); an unbounded model of them
     /// would branch forever.
     pub timeout_budget: u32,
+    /// Model TSO-style store buffering: plain atomic stores go into a
+    /// per-thread FIFO buffer and become globally visible only at a
+    /// scheduler-chosen flush point (a `FLUSH_BASE + t` option), at a
+    /// forced drain (RMW/CAS, `SeqCst` store or fence,
+    /// `storeload_fence`, mutex/condvar ops, spawn, joining a thread),
+    /// or when the buffer overflows. Off by default: the base model
+    /// stays sequentially consistent apart from `Relaxed` stale loads.
+    pub weak_memory: bool,
 }
 
 impl Default for Opts {
@@ -200,6 +230,7 @@ impl Default for Opts {
         Opts {
             max_steps: 4_000,
             timeout_budget: 3,
+            weak_memory: false,
         }
     }
 }

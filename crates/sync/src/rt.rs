@@ -38,7 +38,9 @@ use std::sync::{
     Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
 };
 
-use crate::model::{AccessKind, Chooser, Decision, ExecResult, Opts, StepRec, MAX_THREADS};
+use crate::model::{
+    AccessKind, Chooser, Decision, ExecResult, Opts, StepRec, FLUSH_BASE, MAX_THREADS,
+};
 
 /// Panic payload used to tear a virtual thread down once the execution
 /// aborted (failure found, or truncation). Never reported as a panic.
@@ -79,6 +81,23 @@ struct StoreRec {
     val: u64,
     clock: VClock,
     release: bool,
+}
+
+/// Cap on a single thread's store buffer under the weak-memory mode.
+/// A buffer past this depth force-flushes its oldest entry — real
+/// store buffers are a few dozen entries, and an unbounded model would
+/// let a store-only loop grow state without ever committing anything.
+const STORE_BUFFER_CAP: usize = 16;
+
+/// Weak-memory mode: one store sitting in a thread's FIFO store
+/// buffer, not yet visible to any other thread. The clock is captured
+/// at issue time (program order), not at flush time — flushing later
+/// must not acquire anything the owner learned in between.
+struct BufferedStore {
+    addr: usize,
+    val: u64,
+    release: bool,
+    clock: VClock,
 }
 
 struct LocState {
@@ -149,6 +168,10 @@ struct Inner {
     locations: HashMap<usize, LocState>,
     mutexes: HashMap<usize, MutexMeta>,
     condvars: HashMap<usize, CvMeta>,
+    /// Weak-memory mode: per-thread FIFO store buffers, indexed in
+    /// lockstep with `threads`. Always empty when `opts.weak_memory`
+    /// is off.
+    buffers: Vec<Vec<BufferedStore>>,
     /// Trace index of the most recent *consulted* scheduling decision,
     /// or `None` when the last scheduling point had a single enabled
     /// thread. Operations record it so the DPOR analysis knows which
@@ -209,10 +232,22 @@ impl Inner {
     }
 
     fn enabled_list(&self) -> Vec<u32> {
-        (0..self.threads.len())
+        let mut enabled: Vec<u32> = (0..self.threads.len())
             .filter(|&i| self.enabled(i))
             .map(|i| i as u32)
-            .collect()
+            .collect();
+        if self.opts.weak_memory {
+            // A non-empty store buffer contributes a flush pseudo-option:
+            // "make thread t's oldest buffered store globally visible".
+            // Listed after the real slots so replayed option indices stay
+            // stable whichever threads are blocked.
+            enabled.extend(
+                (0..self.buffers.len())
+                    .filter(|&t| !self.buffers[t].is_empty())
+                    .map(|t| (FLUSH_BASE + t) as u32),
+            );
+        }
+        enabled
     }
 
     fn fail(&mut self, msg: String) {
@@ -263,56 +298,107 @@ impl Inner {
     /// chooser when there is a real choice) and grants it. `Err` means
     /// the execution is over (abort/truncation/deadlock) and the caller
     /// must tear down.
+    ///
+    /// Under the weak-memory mode a decision may instead pick a flush
+    /// pseudo-option (`FLUSH_BASE + t`); the flush is applied inline
+    /// and the scheduling point repeats until a real thread is chosen,
+    /// so a single `yield_now` can interleave any number of other
+    /// threads' store commits before the caller's operation.
     fn pick_next(&mut self, me: usize) -> Result<usize, ()> {
-        self.steps += 1;
-        if self.steps > self.opts.max_steps {
-            self.truncated = true;
-            self.abort = true;
-            return Err(());
-        }
-        let enabled = self.enabled_list();
-        if enabled.is_empty() {
-            if self.live == 0 {
+        loop {
+            self.steps += 1;
+            if self.steps > self.opts.max_steps {
+                self.truncated = true;
+                self.abort = true;
                 return Err(());
             }
-            let budget_exhausted = self.threads.iter().any(|t| {
-                matches!(t.state, TState::BlockedCv { timed: true })
-                    && t.timeout_budget == 0
-                    && !t.wake_notified
-            });
-            if budget_exhausted {
-                // A timed wait would eventually fire in reality; the
-                // model just stops exploring this schedule.
-                self.truncated = true;
-            } else {
-                self.fail(format!(
-                    "deadlock: no enabled virtual thread ({})",
-                    self.describe_states()
-                ));
+            let enabled = self.enabled_list();
+            if enabled.is_empty() {
+                if self.live == 0 {
+                    return Err(());
+                }
+                let budget_exhausted = self.threads.iter().any(|t| {
+                    matches!(t.state, TState::BlockedCv { timed: true })
+                        && t.timeout_budget == 0
+                        && !t.wake_notified
+                });
+                if budget_exhausted {
+                    // A timed wait would eventually fire in reality; the
+                    // model just stops exploring this schedule.
+                    self.truncated = true;
+                } else {
+                    self.fail(format!(
+                        "deadlock: no enabled virtual thread ({})",
+                        self.describe_states()
+                    ));
+                }
+                self.abort = true;
+                return Err(());
             }
-            self.abort = true;
-            return Err(());
-        }
-        let choice = if enabled.len() > 1 {
-            let d = Decision::Thread {
-                current: me as u32,
-                enabled: enabled.clone(),
+            let choice = if enabled.len() > 1 {
+                let d = Decision::Thread {
+                    current: me as u32,
+                    enabled: enabled.clone(),
+                };
+                let idx = self.chooser.choose(&d);
+                assert!(
+                    (idx as usize) < enabled.len(),
+                    "chooser picked option {idx} of {}",
+                    enabled.len()
+                );
+                self.trace.push(idx);
+                self.last_decision = Some((self.trace.len() - 1) as u32);
+                enabled[idx as usize] as usize
+            } else {
+                self.last_decision = None;
+                enabled[0] as usize
             };
-            let idx = self.chooser.choose(&d);
-            assert!(
-                (idx as usize) < enabled.len(),
-                "chooser picked option {idx} of {}",
-                enabled.len()
-            );
-            self.trace.push(idx);
-            self.last_decision = Some((self.trace.len() - 1) as u32);
-            enabled[idx as usize] as usize
-        } else {
-            self.last_decision = None;
-            enabled[0] as usize
-        };
-        self.grant(choice);
-        Ok(choice)
+            if choice >= FLUSH_BASE {
+                self.flush_one(choice - FLUSH_BASE);
+                continue;
+            }
+            self.grant(choice);
+            return Ok(choice);
+        }
+    }
+
+    /// Commits the oldest buffered store of thread `owner` to memory.
+    /// The recorded step carries the flush pseudo-thread id, so the
+    /// DPOR dependence analysis can target the *flush* with a
+    /// backtrack insertion independently of the owner's own steps.
+    fn flush_one(&mut self, owner: usize) {
+        let b = self.buffers[owner].remove(0);
+        self.accesses.push(StepRec {
+            thread: (FLUSH_BASE + owner) as u32,
+            decision: self.last_decision,
+            kind: AccessKind::StoreFlush,
+            addr: b.addr,
+        });
+        let loc = self
+            .locations
+            .get_mut(&b.addr)
+            .expect("buffered store to an unknown location");
+        loc.stores.push(StoreRec {
+            val: b.val,
+            clock: b.clock,
+            release: b.release,
+        });
+        if loc.stores.len() > STORE_CAP {
+            let excess = loc.stores.len() - STORE_CAP;
+            loc.stores.drain(..excess);
+            loc.base += excess;
+        }
+        let latest = loc.latest_abs();
+        loc.seen[owner] = loc.seen[owner].max(latest);
+    }
+
+    /// Forced full drain of thread `t`'s store buffer (RMW/CAS, `SeqCst`
+    /// store/fence, `storeload_fence`, mutex/condvar ops, spawn, join
+    /// of `t`). A program-order barrier, not a scheduler choice.
+    fn drain_buffer(&mut self, t: usize) {
+        while !self.buffers[t].is_empty() {
+            self.flush_one(t);
+        }
     }
 
     /// Appends one access record, attributed to the most recent
@@ -426,6 +512,13 @@ pub(crate) fn atomic_load(ctx: &Ctx, addr: usize, init: u64, relaxed: bool) -> u
         },
         addr,
     );
+    if g.opts.weak_memory {
+        // Store-to-load forwarding: a thread always observes its own
+        // newest buffered store (TSO), bypassing memory entirely.
+        if let Some(b) = g.buffers[me].iter().rev().find(|b| b.addr == addr) {
+            return b.val;
+        }
+    }
     let my_clock = g.threads[me].clock.clone();
     let inner = &mut *g;
     let loc = inner.locations.get_mut(&addr).expect("just ensured");
@@ -471,10 +564,41 @@ pub(crate) fn atomic_load(ctx: &Ctx, addr: usize, init: u64, relaxed: bool) -> u
     loc.rec(chosen_abs).val
 }
 
-pub(crate) fn atomic_store(ctx: &Ctx, addr: usize, init: u64, val: u64, release: bool) {
+pub(crate) fn atomic_store(
+    ctx: &Ctx,
+    addr: usize,
+    init: u64,
+    val: u64,
+    release: bool,
+    seq_cst: bool,
+) {
     let mut g = yield_now(ctx);
     let me = ctx.me;
     g.ensure_loc(addr, init);
+    if g.opts.weak_memory {
+        // The store parks in the issuing thread's FIFO buffer; it
+        // becomes a globally visible write only at its StoreFlush. The
+        // clock is captured now — program order, not flush order.
+        g.record(me, AccessKind::StoreBuffered, addr);
+        g.threads[me].clock.tick(me);
+        let clock = g.threads[me].clock.clone();
+        g.buffers[me].push(BufferedStore {
+            addr,
+            val,
+            release,
+            clock,
+        });
+        if seq_cst || g.buffers[me].len() > STORE_BUFFER_CAP {
+            // SeqCst stores drain (x86 `xchg`-like); overflow commits
+            // the oldest entry to keep the model bounded.
+            if seq_cst {
+                g.drain_buffer(me);
+            } else {
+                g.flush_one(me);
+            }
+        }
+        return;
+    }
     g.record(me, AccessKind::Store, addr);
     g.threads[me].clock.tick(me);
     let clock = g.threads[me].clock.clone();
@@ -505,6 +629,10 @@ pub(crate) fn atomic_rmw(
     let mut g = yield_now(ctx);
     let me = ctx.me;
     g.ensure_loc(addr, init);
+    if g.opts.weak_memory {
+        // Locked instruction: the buffer drains before the RMW reads.
+        g.drain_buffer(me);
+    }
     g.record(me, AccessKind::Rmw, addr);
     let (old, old_clock) = {
         let loc = g.locations.get_mut(&addr).expect("just ensured");
@@ -542,6 +670,10 @@ pub(crate) fn atomic_cas(
     let mut g = yield_now(ctx);
     let me = ctx.me;
     g.ensure_loc(addr, init);
+    if g.opts.weak_memory {
+        // Locked instruction even on failure: the buffer drains first.
+        g.drain_buffer(me);
+    }
     let (old, old_clock) = {
         let loc = g.locations.get_mut(&addr).expect("just ensured");
         let latest = loc.latest_abs();
@@ -578,18 +710,28 @@ pub(crate) fn atomic_cas(
 
 /// `atomic::fence(ord)` through the facade: a scheduling point the
 /// explorer can see. Under the sequentially consistent base model the
-/// fence itself adds nothing further.
-pub(crate) fn fence_op(ctx: &Ctx, _seq_cst: bool) {
+/// fence itself adds nothing further; under the weak-memory mode a
+/// `SeqCst` fence drains the issuing thread's store buffer (the only
+/// ordering TSO is missing is Store→Load, and only a full fence
+/// restores it — `Acquire`/`Release` fences are free on TSO).
+pub(crate) fn fence_op(ctx: &Ctx, seq_cst: bool) {
     let mut g = yield_now(ctx);
+    if seq_cst && g.opts.weak_memory {
+        g.drain_buffer(ctx.me);
+    }
     g.record(ctx.me, AccessKind::Fence, 0);
     drop(g);
 }
 
 /// The modeled Store→Load barrier (`storeload_fence`): recorded with
 /// its own access kind so fence-sensitive scenarios can assert the
-/// barrier was actually issued.
+/// barrier was actually issued. Always a full drain — this is the §3.4
+/// read-entry barrier whose whole job is store-buffer visibility.
 pub(crate) fn storeload_fence_op(ctx: &Ctx) {
     let mut g = yield_now(ctx);
+    if g.opts.weak_memory {
+        g.drain_buffer(ctx.me);
+    }
     g.record(ctx.me, AccessKind::StoreLoadFence, 0);
     drop(g);
 }
@@ -598,6 +740,10 @@ pub(crate) fn storeload_fence_op(ctx: &Ctx) {
 
 pub(crate) fn mutex_lock(ctx: &Ctx, addr: usize) {
     let mut g = yield_now(ctx);
+    if g.opts.weak_memory {
+        // Lock acquisition is an RMW on real hardware: full drain.
+        g.drain_buffer(ctx.me);
+    }
     let meta = g
         .mutexes
         .entry(addr)
@@ -623,6 +769,10 @@ pub(crate) fn mutex_unlock(ctx: &Ctx, addr: usize) {
     if g.abort {
         drop(g);
         teardown();
+    }
+    if g.opts.weak_memory {
+        // Critical-section stores must be visible before the release.
+        g.drain_buffer(ctx.me);
     }
     if let Some(meta) = g.mutexes.get_mut(&addr) {
         debug_assert_eq!(meta.owner, Some(ctx.me), "unlock by non-owner");
@@ -662,6 +812,10 @@ pub(crate) fn cv_wait(ctx: &Ctx, cv_addr: usize, mx_addr: usize, timed: bool) ->
         drop(g);
         teardown();
     }
+    if g.opts.weak_memory {
+        // Waiting releases the mutex: same visibility rule as unlock.
+        g.drain_buffer(ctx.me);
+    }
     let meta = g
         .mutexes
         .get_mut(&mx_addr)
@@ -697,6 +851,11 @@ pub(crate) fn cv_wait(ctx: &Ctx, cv_addr: usize, mx_addr: usize, timed: bool) ->
 
 pub(crate) fn cv_notify(ctx: &Ctx, cv_addr: usize, all: bool) {
     let mut g = yield_now(ctx);
+    if g.opts.weak_memory {
+        // Whatever was written before the notify must be visible to
+        // the woken waiter.
+        g.drain_buffer(ctx.me);
+    }
     g.record(ctx.me, AccessKind::CvNotify, cv_addr);
     let inner = &mut *g;
     if let Some(cvm) = inner.condvars.get_mut(&cv_addr) {
@@ -742,6 +901,11 @@ where
         }
         let slot = g.threads.len();
         assert!(slot < MAX_THREADS, "execution exceeds {MAX_THREADS} virtual threads");
+        if g.opts.weak_memory {
+            // The child inherits the parent's clock; drain so it can
+            // also *see* everything the parent wrote before the spawn.
+            g.drain_buffer(ctx.me);
+        }
         g.threads[ctx.me].clock.tick(ctx.me);
         let clock = g.threads[ctx.me].clock.clone();
         let budget = g.opts.timeout_budget;
@@ -752,6 +916,7 @@ where
             timeout_budget: budget,
         });
         g.live += 1;
+        g.buffers.push(Vec::new());
         g.record(ctx.me, AccessKind::Spawn, slot);
         let shared2 = Arc::clone(&ctx.shared);
         let res2 = Arc::clone(&result);
@@ -781,6 +946,14 @@ impl<T> JoinHandle<T> {
         let mut g = yield_now(&ctx);
         if !matches!(g.threads[self.slot].state, TState::Finished) {
             g = block_on(&ctx, g, TState::BlockedJoin(self.slot));
+        }
+        if g.opts.weak_memory {
+            // A finished thread's residual buffer commits when someone
+            // joins it (finish itself is deliberately *not* a drain: a
+            // thread's last stores may stay invisible past its death,
+            // which is exactly the §3.4 hazard the litmus tests need
+            // reachable).
+            g.drain_buffer(self.slot);
         }
         g.record(ctx.me, AccessKind::Join, self.slot);
         drop(g);
@@ -904,6 +1077,7 @@ pub fn run_execution(
             locations: HashMap::new(),
             mutexes: HashMap::new(),
             condvars: HashMap::new(),
+            buffers: vec![Vec::new()],
             last_decision: None,
             accesses: Vec::new(),
         }),

@@ -98,6 +98,7 @@ macro_rules! mc_atomic {
                             self.init(),
                             val as u64,
                             is_release(order),
+                            matches!(order, Ordering::SeqCst),
                         );
                         self.mirror.store(val, Ordering::SeqCst);
                     }

@@ -87,15 +87,22 @@ where
 {
     let mut best_sum = 0.0;
     let mut stats_acc = StatsSnapshot::default();
+    let mut measured_secs = 0.0;
     for run in 0..cfg.runs {
-        let (best, st) = one_run(cfg, &op, &stats, run as u64);
+        let (best, st, secs) = one_run(cfg, &op, &stats, run as u64);
         best_sum += best;
         stats_acc = stats_acc.merge(&st);
+        measured_secs += secs;
     }
     Measurement {
         ops_per_sec: best_sum / cfg.runs as f64,
         stats: stats_acc,
-        measured_secs: cfg.runs as f64 * cfg.windows as f64 * cfg.window.as_secs_f64(),
+        // Actual wall time of the measured windows, not the configured
+        // window length: sleeps only promise a *lower* bound, and the
+        // overshoot is exactly the time the accumulated `stats` kept
+        // counting — deriving event frequencies from the configured
+        // duration would overstate them.
+        measured_secs,
     }
 }
 
@@ -126,7 +133,7 @@ fn one_run<F>(
     op: &F,
     stats: &impl Fn() -> StatsSnapshot,
     seed_base: u64,
-) -> (f64, StatsSnapshot)
+) -> (f64, StatsSnapshot, f64)
 where
     F: Fn(usize, &mut TestRng) + Sync,
 {
@@ -136,6 +143,7 @@ where
         .collect();
     let mut best = 0.0f64;
     let mut stats_delta = StatsSnapshot::default();
+    let mut measured_secs = 0.0f64;
     std::thread::scope(|s| {
         for t in 0..cfg.threads {
             let running = &running;
@@ -167,6 +175,7 @@ where
             std::thread::sleep(cfg.window);
             let count1: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
             let dt = t0.elapsed().as_secs_f64();
+            measured_secs += dt;
             let rate = (count1 - count0) as f64 / dt;
             if rate > best {
                 best = rate;
@@ -175,7 +184,7 @@ where
         stats_delta = stats().since(&stats_before);
         running.store(false, Ordering::Relaxed);
     });
-    (best, stats_delta)
+    (best, stats_delta, measured_secs)
 }
 
 #[cfg(test)]
@@ -203,6 +212,34 @@ mod tests {
         assert!(m.ops_per_sec > 1000.0, "{}", m.ops_per_sec);
         assert!(m.ns_per_op() < 1e6);
         assert!(total.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn measured_secs_is_actual_window_time() {
+        let cfg = RunConfig {
+            threads: 1,
+            warmup: Duration::from_millis(1),
+            window: Duration::from_millis(10),
+            windows: 3,
+            runs: 2,
+        };
+        let m = measure(&cfg, |_, _| std::hint::spin_loop(), StatsSnapshot::default);
+        let configured = cfg.runs as f64 * cfg.windows as f64 * cfg.window.as_secs_f64();
+        // Sleeps never return early, so the measured time can only
+        // overshoot the configured one — and on a loaded machine it
+        // does, which is exactly why it must be measured, not assumed.
+        assert!(
+            m.measured_secs >= configured,
+            "measured {} < configured {configured}",
+            m.measured_secs
+        );
+        // Sanity bound: not wildly off either (an hour of overshoot on
+        // 60ms of windows would mean the accumulation is broken).
+        assert!(
+            m.measured_secs < configured * 100.0 + 10.0,
+            "measured {} implausibly large",
+            m.measured_secs
+        );
     }
 
     #[test]

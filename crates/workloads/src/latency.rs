@@ -5,86 +5,18 @@
 //! other thread, while SOLERO readers cannot block anyone. The latency
 //! histogram makes that visible — an addition to the paper's
 //! methodology, reported by `reproduce latency`.
+//!
+//! The histogram itself lives in [`solero_obs::hist`] (one log2
+//! histogram for the whole workspace, identical bucketing to the JSONL
+//! observability export); this module re-exports it and layers the
+//! measurement loop plus the [`LatencyReport`] percentile summary on
+//! top.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use solero_testkit::rng::TestRng;
 
-/// Number of log2 buckets (covers 1 ns .. ~77 h).
-const BUCKETS: usize = 48;
-
-/// A lock-free log2 latency histogram.
-///
-/// # Examples
-///
-/// ```
-/// use solero_workloads::latency::LatencyHistogram;
-///
-/// let h = LatencyHistogram::new();
-/// for ns in [100, 200, 400, 100_000] {
-///     h.record_ns(ns);
-/// }
-/// assert_eq!(h.count(), 4);
-/// assert!(h.percentile(0.5) >= 100 && h.percentile(0.5) <= 512);
-/// assert!(h.percentile(1.0) >= 65_536);
-/// ```
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: Vec<AtomicU64>,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-        }
-    }
-
-    /// Records one sample in nanoseconds.
-    #[inline]
-    pub fn record_ns(&self, ns: u64) {
-        let b = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[b].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total samples.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Approximate `p`-quantile in nanoseconds (upper bucket bound);
-    /// `p` in `[0, 1]`.
-    pub fn percentile(&self, p: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * p).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return 1u64 << (i + 1); // upper bound of the bucket
-            }
-        }
-        1u64 << BUCKETS
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter().zip(&other.buckets) {
-            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
-        }
-    }
-}
+pub use solero_obs::hist::{HistSnapshot, LatencyHistogram};
 
 /// Percentile summary of one latency measurement.
 #[derive(Debug, Clone, Copy)]
@@ -101,6 +33,34 @@ pub struct LatencyReport {
     pub samples: u64,
 }
 
+impl LatencyReport {
+    /// Summarizes a histogram snapshot.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use solero_workloads::latency::{LatencyHistogram, LatencyReport};
+    ///
+    /// let h = LatencyHistogram::new();
+    /// for ns in [100, 200, 400, 100_000] {
+    ///     h.record_ns(ns);
+    /// }
+    /// let r = LatencyReport::from_snapshot(&h.snapshot());
+    /// assert_eq!(r.samples, 4);
+    /// assert!(r.p50 >= 100 && r.p50 <= 512);
+    /// assert!(r.p999 >= 65_536);
+    /// ```
+    pub fn from_snapshot(s: &HistSnapshot) -> Self {
+        LatencyReport {
+            p50: s.percentile(0.50),
+            p90: s.percentile(0.90),
+            p99: s.percentile(0.99),
+            p999: s.percentile(0.999),
+            samples: s.count(),
+        }
+    }
+}
+
 /// Runs `op` from `threads` threads, `samples_per_thread` times each,
 /// timing every invocation.
 pub fn measure_latency<F>(threads: usize, samples_per_thread: u64, op: F) -> LatencyReport
@@ -114,23 +74,15 @@ where
             let op = &op;
             s.spawn(move || {
                 let mut rng = TestRng::seed_from_u64(t as u64 + 1);
-                let local = LatencyHistogram::new();
                 for _ in 0..samples_per_thread {
                     let t0 = Instant::now();
                     op(t, &mut rng);
-                    local.record_ns(t0.elapsed().as_nanos() as u64);
+                    hist.record_ns(t0.elapsed().as_nanos() as u64);
                 }
-                hist.merge(&local);
             });
         }
     });
-    LatencyReport {
-        p50: hist.percentile(0.50),
-        p90: hist.percentile(0.90),
-        p99: hist.percentile(0.99),
-        p999: hist.percentile(0.999),
-        samples: hist.count(),
-    }
+    LatencyReport::from_snapshot(&hist.snapshot())
 }
 
 #[cfg(test)]
@@ -138,41 +90,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_histogram() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.percentile(0.5), 0);
+    fn histogram_is_the_obs_histogram() {
+        // The re-export must be the one concurrent histogram the whole
+        // workspace shares, not a second implementation.
+        let h: solero_obs::hist::LatencyHistogram = LatencyHistogram::new();
+        h.record_ns(100);
+        let s: solero_obs::hist::HistSnapshot = h.snapshot();
+        assert_eq!(s.count(), 1);
     }
 
     #[test]
-    fn percentiles_are_monotone() {
+    fn report_percentiles_are_monotone() {
         let h = LatencyHistogram::new();
         for i in 1..=1000u64 {
             h.record_ns(i * 17);
         }
-        let p50 = h.percentile(0.5);
-        let p90 = h.percentile(0.9);
-        let p99 = h.percentile(0.99);
-        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        let r = LatencyReport::from_snapshot(&h.snapshot());
+        assert!(
+            r.p50 <= r.p90 && r.p90 <= r.p99 && r.p99 <= r.p999,
+            "{r:?}"
+        );
+        assert_eq!(r.samples, 1000);
     }
 
     #[test]
-    fn extreme_values_clamp() {
-        let h = LatencyHistogram::new();
-        h.record_ns(0); // clamps to bucket 0
-        h.record_ns(u64::MAX); // clamps to the last bucket
-        assert_eq!(h.count(), 2);
-    }
-
-    #[test]
-    fn merge_sums_counts() {
-        let a = LatencyHistogram::new();
-        let b = LatencyHistogram::new();
-        a.record_ns(100);
-        b.record_ns(100);
-        b.record_ns(1_000_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 3);
+    fn empty_report_is_zero() {
+        let r = LatencyReport::from_snapshot(&HistSnapshot::default());
+        assert_eq!(r.samples, 0);
+        assert_eq!(r.p999, 0);
     }
 
     #[test]

@@ -78,6 +78,23 @@ SOLERO_MC_SEED=0x5EED0004 SOLERO_MC_BUDGET=6000 RUST_BACKTRACE=0 \
     -- --nocapture --test-threads=1 \
     | grep -E "mc\[|test result"
 
+# Budgeted weak-memory pass: the SB/MP litmus battery plus the §3.4
+# barrier-table and WEAK_EXIT_LOAD kills, re-run with SOLERO_MC_BUDGET
+# capping every search. The cap keeps the step inside a fixed CI cost
+# (the clean-baseline searches are the expensive part, ~50k executions
+# uncapped) while still sitting above both kills' discovery points
+# (the weak-barrier violation surfaces within ~100 executions, the
+# weak-exit-load one within ~16k), so the grep still proves the
+# mutants die and replay. The uncapped completeness run already
+# happened in the main mc step above.
+echo "== tier-1: mc weak-memory litmus + barrier kill (budgeted) =="
+SOLERO_MC_BUDGET=20000 RUST_BACKTRACE=0 \
+    RUSTFLAGS="--cfg solero_mc" CARGO_TARGET_DIR=target/mc \
+    cargo test -q --offline -p solero-mc \
+    --test weak_memory --test barrier_kill \
+    -- --nocapture --test-threads=1 \
+    | grep -E "mc\[|killed|test result"
+
 # Replay the concurrency stress and property suites under a pinned seed
 # matrix: different roots exercise different schedules/cases, and every
 # one of them is reproducible by exporting the printed seed.

@@ -17,7 +17,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use solero::{SoleroStrategy, SyncStrategy};
+use solero::{Fault, SoleroStrategy, SyncStrategy, WriteIntent};
 use solero_runtime::stats::StatsSnapshot;
 use solero_testkit::{seed_matrix, seed_override, stress, StressConfig};
 
@@ -165,4 +165,39 @@ fn observed_reason_matches_injected_interference() {
     assert_eq!(s.abort_word_changed_at_exit, 1, "{s}");
     assert_eq!(s.abort_retry_exhausted, 1, "{s}");
     assert_eq!(s.read_aborts, s.abort_reason_sum(), "{s}");
+}
+
+#[test]
+fn upgrade_failure_is_one_abort() {
+    // A failed read-mostly upgrade goes straight to the fallback lock
+    // (Figure 17, line 13). That is ONE abort, classified as
+    // retry-exhausted-fallback by the fallback branch; it must not
+    // additionally be booked as word-changed-at-exit by the settling
+    // code, or `read_aborts == abort_reason_sum()` breaks.
+    let strat = SoleroStrategy::new();
+    let lock = strat.lock();
+    let data = AtomicU64::new(0);
+    let mut attempt = 0u32;
+    lock.read_mostly(|s| {
+        attempt += 1;
+        if attempt == 1 {
+            // Invalidate the speculation before the upgrade point.
+            std::thread::scope(|sc| {
+                sc.spawn(|| lock.write(|| {}));
+            });
+        }
+        s.ensure_write()?;
+        data.fetch_add(1, Ordering::Relaxed);
+        Ok::<_, Fault>(())
+    })
+    .expect("upgrade failure re-executes under the lock");
+    assert_eq!(attempt, 2, "failed upgrade re-executes exactly once");
+
+    let s = strat.snapshot();
+    assert_eq!(s.read_aborts, 1, "one upgrade failure is one abort: {s}");
+    assert_eq!(s.abort_retry_exhausted, 1, "{s}");
+    assert_eq!(s.abort_word_changed_at_exit, 0, "double-booked abort: {s}");
+    assert_eq!(s.fallback_acquires, 1, "{s}");
+    assert_eq!(s.read_aborts, s.abort_reason_sum(), "{s}");
+    assert_eq!(s.abort_retry_exhausted, s.fallback_acquires, "{s}");
 }
