@@ -58,11 +58,24 @@ impl HarnessConfig {
 /// The strategy fleet the comparative figures iterate — boxed factories
 /// behind the dyn-compatible facade, so one heterogeneous list drives
 /// every sweep.
-pub const MAIN_FLEET: [(&str, fn() -> BoxedStrategy); 3] = [
+pub const MAIN_FLEET: [(&str, fn() -> BoxedStrategy); 4] = [
     ("Lock", || Box::new(LockStrategy::new())),
     ("RWLock", || Box::new(RwLockStrategy::new())),
     ("SOLERO", || Box::new(SoleroStrategy::new())),
+    ("Adaptive-SOLERO", || {
+        Box::new(SoleroStrategy::configured(
+            SoleroConfig::builder().adaptive(true).build(),
+        ))
+    }),
 ];
+
+/// Sweep-table headers: the lead column followed by the fleet names,
+/// so tables grow with [`MAIN_FLEET`] instead of hardcoding it.
+fn fleet_header(lead: &'static str) -> Vec<&'static str> {
+    let mut h = vec![lead];
+    h.extend(MAIN_FLEET.iter().map(|(name, _)| *name));
+    h
+}
 
 fn measure_map(
     cfg: &RunConfig,
@@ -125,6 +138,13 @@ pub fn fig10(h: &HarnessConfig) -> Table {
                 SoleroStrategy::configured(SoleroConfig::builder().weak_barrier(true).build()),
             ),
         ),
+        (
+            "Adaptive-SOLERO",
+            measure_empty(
+                &cfg,
+                SoleroStrategy::configured(SoleroConfig::builder().adaptive(true).build()),
+            ),
+        ),
     ];
     let base = entries[0].1.ns_per_op();
     let mut t = Table::new(
@@ -147,7 +167,7 @@ pub fn fig11(h: &HarnessConfig) -> Table {
     let cfg = h.run(1);
     let mut t = Table::new(
         "Figure 11: single-thread relative performance (Lock = 100%)",
-        &["Benchmark", "Lock", "RWLock", "SOLERO"],
+        &fleet_header("Benchmark"),
     );
     for (kind, label, writes) in [
         (MapKind::Hash, "HashMap", 0u32),
@@ -160,29 +180,30 @@ pub fn fig11(h: &HarnessConfig) -> Table {
             .iter()
             .map(|(_, make)| measure_map(&cfg, mc, make).ops_per_sec)
             .collect();
-        t.row(vec![
-            format!("{label} ({writes}% writes)"),
-            "100.0".into(),
-            f3(ops[1] / ops[0] * 100.0),
-            f3(ops[2] / ops[0] * 100.0),
-        ]);
+        let mut row = vec![format!("{label} ({writes}% writes)")];
+        row.extend(ops.iter().map(|o| f3(o / ops[0] * 100.0)));
+        t.row(row);
     }
-    // SPECjbb: the paper does not measure RWLock here.
+    // SPECjbb: the paper measures only Lock vs SOLERO here; the other
+    // fleet columns stay empty.
     let lock = measure_jbb(&cfg, || Box::new(LockStrategy::new())).ops_per_sec;
     let so = measure_jbb(&cfg, || Box::new(SoleroStrategy::new())).ops_per_sec;
-    t.row(vec![
-        "SPECjbb2005 (mini)".into(),
-        "100.0".into(),
-        "-".into(),
-        f3(so / lock * 100.0),
-    ]);
+    let mut row = vec!["SPECjbb2005 (mini)".to_string()];
+    for (name, _) in MAIN_FLEET {
+        row.push(match name {
+            "Lock" => "100.0".into(),
+            "SOLERO" => f3(so / lock * 100.0),
+            _ => "-".into(),
+        });
+    }
+    t.row(row);
     t
 }
 
-/// Shared sweep: throughput of the three strategies across thread
-/// counts, normalized to Lock at 1 thread.
+/// Shared sweep: throughput of the [`MAIN_FLEET`] strategies across
+/// thread counts, normalized to Lock at 1 thread.
 fn sweep_map(h: &HarnessConfig, kind: MapKind, writes: u32, fine: bool, title: &str) -> Table {
-    let mut t = Table::new(title, &["threads", "Lock", "RWLock", "SOLERO"]);
+    let mut t = Table::new(title, &fleet_header("threads"));
     let mut base = None;
     for &n in &h.thread_counts() {
         let cfg = h.run(n);
@@ -464,11 +485,28 @@ mod tests {
     }
 
     #[test]
-    fn fig10_produces_five_rows() {
+    fn fig10_produces_six_rows() {
         let t = fig10(&tiny());
-        assert_eq!(t.len(), 5);
+        assert_eq!(t.len(), 6);
         let csv = t.to_csv();
         assert!(csv.contains("WeakBarrier-SOLERO"));
+        assert!(csv.contains("Adaptive-SOLERO"));
+    }
+
+    #[test]
+    fn fleet_tables_carry_the_adaptive_contender() {
+        assert!(
+            MAIN_FLEET.iter().any(|(n, _)| *n == "Adaptive-SOLERO"),
+            "the sweep fleet must include the adaptive strategy"
+        );
+        let header = fleet_header("threads");
+        assert_eq!(header.len(), MAIN_FLEET.len() + 1);
+        assert_eq!(header[0], "threads");
+        assert!(header.contains(&"Adaptive-SOLERO"));
+        // Every fleet factory really produces its advertised name.
+        for (name, make) in MAIN_FLEET {
+            assert_eq!(make().name(), name);
+        }
     }
 
     #[test]

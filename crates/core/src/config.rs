@@ -8,6 +8,8 @@
 use solero_runtime::fence::BarrierMode;
 use solero_runtime::spin::SpinConfig;
 
+use crate::adaptive::AdaptiveBudgets;
+
 /// Whether read-only critical sections elide the lock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ElisionMode {
@@ -54,6 +56,11 @@ pub struct SoleroConfig {
     /// asynchronous events, every `checkpoint_period`-th poll validates.
     /// `0` disables the deterministic fallback (events only).
     pub checkpoint_period: u64,
+    /// Adaptive elision: when set, the lock carries an
+    /// [`AdaptivePolicy`](crate::AdaptivePolicy) with these budgets and
+    /// consults it at every read-section entry. `None` (the paper's
+    /// configuration) speculates unconditionally.
+    pub adaptive: Option<AdaptiveBudgets>,
 }
 
 impl Default for SoleroConfig {
@@ -64,6 +71,7 @@ impl Default for SoleroConfig {
             fallback_threshold: 1,
             spin: SpinConfig::default(),
             checkpoint_period: 1024,
+            adaptive: None,
         }
     }
 }
@@ -146,6 +154,20 @@ impl SoleroConfigBuilder {
         self
     }
 
+    /// `true` enables the adaptive elision policy with the default
+    /// budgets (the bench fleet's `Adaptive-SOLERO` contender); `false`
+    /// restores unconditional speculation.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.cfg.adaptive = on.then(AdaptiveBudgets::default);
+        self
+    }
+
+    /// Adaptive elision with explicit budgets.
+    pub fn adaptive_budgets(mut self, budgets: AdaptiveBudgets) -> Self {
+        self.cfg.adaptive = Some(budgets);
+        self
+    }
+
     /// The finished configuration.
     pub fn build(self) -> SoleroConfig {
         self.cfg
@@ -188,5 +210,18 @@ mod tests {
         assert_eq!(SoleroConfig::builder().retries(0).build().fallback_threshold, 1);
         // Defaults flow through untouched.
         assert_eq!(SoleroConfig::builder().build(), SoleroConfig::default());
+    }
+
+    #[test]
+    fn adaptive_knob_round_trips() {
+        assert_eq!(SoleroConfig::default().adaptive, None);
+        let on = SoleroConfig::builder().adaptive(true).build();
+        assert_eq!(on.adaptive, Some(AdaptiveBudgets::default()));
+        let off = SoleroConfig::builder().adaptive(true).adaptive(false).build();
+        assert_eq!(off, SoleroConfig::default());
+        let custom = SoleroConfig::builder()
+            .adaptive_budgets(AdaptiveBudgets::minimal())
+            .build();
+        assert_eq!(custom.adaptive, Some(AdaptiveBudgets::minimal()));
     }
 }

@@ -41,6 +41,9 @@
 //!   elision (Figures 7–9), read-mostly upgrade (Figure 17);
 //! * [`SoleroConfig`] / [`ElisionMode`] — the paper's ablations
 //!   (`Unelided-SOLERO`, `WeakBarrier-SOLERO`);
+//! * [`AdaptivePolicy`] / [`AdaptiveBudgets`] — per-lock adaptive
+//!   elision: per-abort-class retry budgets, forfeit with geometric
+//!   escalation, re-arm on quiet (the `Adaptive-SOLERO` contender);
 //! * [`ReadSession`] / [`MostlySession`] / [`Checkpoint`] /
 //!   [`WriteIntent`] — contexts handed to critical-section closures,
 //!   carrying validation check-points and the in-place upgrade;
@@ -62,6 +65,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adaptive;
 mod config;
 mod dynstrategy;
 mod lock;
@@ -71,6 +75,7 @@ mod read;
 mod session;
 mod strategy;
 
+pub use adaptive::{AdaptiveBudgets, AdaptivePolicy, EntryDecision, PolicyProbe};
 pub use config::{ElisionMode, SoleroConfig, SoleroConfigBuilder};
 pub use dynstrategy::{BoxedStrategy, DynSyncStrategy};
 pub use lock::{SoleroLock, SoleroWriteGuard, WriteTicket};
@@ -78,3 +83,4 @@ pub use session::{Checkpoint, MostlySession, NullCheckpoint, ReadSession, WriteI
 pub use strategy::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
 
 pub use solero_runtime::fault::Fault;
+pub use solero_obs::RecentAborts;

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use solero_sync::atomic::{AtomicU64, Ordering};
 
-use solero_obs::{AbortReason, EventKind, LockEvent};
+use solero_obs::{AbortReason, EventKind, LockEvent, RecentAborts};
 use solero_runtime::osmonitor::{MonitorTable, OsMonitor};
 use solero_runtime::spin::Probe;
 use solero_runtime::stats::LockStats;
@@ -26,6 +26,7 @@ use solero_runtime::word::{
     SoleroWord, COUNTER_STEP, FLC_BIT, SOLERO_RECURSION_MAX, SOLERO_RECURSION_STEP,
 };
 
+use crate::adaptive::AdaptivePolicy;
 use crate::config::SoleroConfig;
 
 /// Timed-wait interval for FLC waiters (see
@@ -67,6 +68,11 @@ pub struct SoleroLock {
     pub(crate) saved_v1: AtomicU64,
     pub(crate) config: SoleroConfig,
     pub(crate) stats: LockStats,
+    /// Always-on per-class recent-abort history (decayed on adaptive
+    /// re-arm ticks; plain totals on non-adaptive locks).
+    pub(crate) recent: RecentAborts,
+    /// The adaptive elision policy, present iff `config.adaptive` is.
+    pub(crate) policy: Option<AdaptivePolicy>,
 }
 
 impl Default for SoleroLock {
@@ -110,6 +116,8 @@ impl SoleroLock {
             saved_v1: AtomicU64::new(0),
             config,
             stats: LockStats::default(),
+            recent: RecentAborts::new(),
+            policy: config.adaptive.map(AdaptivePolicy::new),
         }
     }
 
@@ -121,6 +129,20 @@ impl SoleroLock {
     /// Per-lock statistics counters.
     pub fn stats(&self) -> &LockStats {
         &self.stats
+    }
+
+    /// Per-class recent-abort history — always compiled in, readable
+    /// without the `solero-obs` `trace` feature. On an adaptive lock
+    /// the history decays geometrically at every re-arm tick; on a
+    /// plain lock it accumulates totals.
+    pub fn recent_aborts(&self) -> &RecentAborts {
+        &self.recent
+    }
+
+    /// The adaptive elision policy, if this lock was configured with
+    /// one.
+    pub fn policy(&self) -> Option<&AdaptivePolicy> {
+        self.policy.as_ref()
     }
 
     /// The current raw word (diagnostics and tests).
@@ -204,7 +226,27 @@ impl SoleroLock {
             AbortReason::Inflation => &self.stats.abort_inflation,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        self.recent.note(reason);
+        if let Some(p) = &self.policy {
+            if p.on_abort(reason) {
+                self.stats.policy_disables.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::Abort(reason)));
+    }
+
+    /// Books one successful elision: the counter, plus the adaptive
+    /// policy's success streak (a re-arm tick also decays the
+    /// recent-abort history, so "recent" means an exponentially
+    /// weighted window on adaptive locks).
+    #[inline]
+    pub(crate) fn note_elided(&self) {
+        self.stats.elision_success.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.policy {
+            if p.on_elided() {
+                self.recent.decay();
+            }
+        }
     }
 
     pub(crate) fn monitor(&self) -> Arc<OsMonitor> {

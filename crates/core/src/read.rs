@@ -130,6 +130,19 @@ impl SoleroLock {
         if self.config.elision == ElisionMode::NoElide {
             return self.read_unelided(f);
         }
+        // Adaptive consult: a forfeited entry acquires instead of
+        // speculating. No speculation starts, so this is NOT an abort —
+        // `read_aborts == abort_reason_sum()` must keep balancing — it
+        // is counted separately as a policy skip.
+        if let Some(p) = &self.policy {
+            if let crate::adaptive::EntryDecision::Acquire { rearmed } = p.on_entry() {
+                self.stats.policy_skips.fetch_add(1, Ordering::Relaxed);
+                if rearmed {
+                    self.stats.policy_rearms.fetch_add(1, Ordering::Relaxed);
+                }
+                return self.read_unelided(f);
+            }
+        }
         // Figure 7, lines 1–8, inlined.
         let v = self.word.load(Ordering::Acquire);
         if SoleroWord(v).is_elidable() {
@@ -141,7 +154,7 @@ impl SoleroLock {
                 if !s.held {
                     self.config.barrier.read_exit_fence();
                     if self.exit_validates(s.v) {
-                        self.stats.elision_success.fetch_add(1, Ordering::Relaxed);
+                        self.note_elided();
                         return Ok(r);
                     }
                 }
@@ -230,7 +243,7 @@ impl SoleroLock {
                 // Figure 7, line 6: validate.
                 self.config.barrier.read_exit_fence();
                 if self.exit_validates(v) {
-                    self.stats.elision_success.fetch_add(1, Ordering::Relaxed);
+                    self.note_elided();
                     return Settled::Done(Ok(r));
                 }
                 // Figure 7, line 9: the lock may be held by us through a

@@ -249,10 +249,14 @@ impl SoleroStrategy {
     /// assert_eq!(s.name(), "WeakBarrier-SOLERO");
     /// ```
     pub fn configured(config: SoleroConfig) -> Self {
-        let label = match (config.elision, config.barrier) {
-            (crate::config::ElisionMode::NoElide, _) => "Unelided-SOLERO",
-            (_, solero_runtime::fence::BarrierMode::Weak) => "WeakBarrier-SOLERO",
-            _ => "SOLERO",
+        let label = if config.elision == crate::config::ElisionMode::NoElide {
+            "Unelided-SOLERO"
+        } else if config.barrier == solero_runtime::fence::BarrierMode::Weak {
+            "WeakBarrier-SOLERO"
+        } else if config.adaptive.is_some() {
+            "Adaptive-SOLERO"
+        } else {
+            "SOLERO"
         };
         Self::with_config(config, label)
     }
@@ -356,6 +360,9 @@ mod tests {
         exercise(&SoleroStrategy::configured(
             SoleroConfig::builder().weak_barrier(true).build(),
         ));
+        exercise(&SoleroStrategy::configured(
+            SoleroConfig::builder().adaptive(true).build(),
+        ));
     }
 
     #[test]
@@ -391,6 +398,7 @@ mod tests {
             SoleroStrategy::new().name(),
             SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build()).name(),
             SoleroStrategy::configured(SoleroConfig::builder().weak_barrier(true).build()).name(),
+            SoleroStrategy::configured(SoleroConfig::builder().adaptive(true).build()).name(),
         ];
         for (i, a) in names.iter().enumerate() {
             for b in &names[i + 1..] {

@@ -1,0 +1,203 @@
+//! Property tests for [`AdaptivePolicy`]: the forfeit/re-arm state
+//! machine under randomized budgets and randomized abort histories.
+//!
+//! Replay a failure with `SOLERO_TESTKIT_SEED=<root>` (printed by the
+//! runner); case sizes shrink automatically.
+
+use solero::{AdaptiveBudgets, AdaptivePolicy, EntryDecision};
+use solero_obs::AbortReason;
+use solero_testkit::prop::forall;
+use solero_testkit::rng::TestRng;
+
+/// Random but bounded budgets — including degenerate zeros, which the
+/// policy must clamp rather than wedge on.
+fn gen_budgets(rng: &mut TestRng) -> AdaptiveBudgets {
+    AdaptiveBudgets {
+        retry: std::array::from_fn(|_| rng.gen_range(0..10u32)),
+        skip: std::array::from_fn(|_| rng.gen_range(0..10u32)),
+        max_penalty: rng.gen_range(0..6u32),
+        rearm_period: rng.gen_range(0..10u32),
+    }
+}
+
+fn gen_reason(rng: &mut TestRng) -> AbortReason {
+    AbortReason::ALL[rng.gen_range(0..AbortReason::ALL.len())]
+}
+
+/// The clamps the policy applies internally, restated for assertions.
+fn eff_retry(b: &AdaptiveBudgets, c: usize) -> u32 {
+    b.retry[c].max(1)
+}
+fn cap(b: &AdaptiveBudgets) -> u32 {
+    b.max_penalty.min(16)
+}
+fn eff_rearm(b: &AdaptiveBudgets) -> u32 {
+    b.rearm_period.max(1)
+}
+
+/// Whatever interleaving of aborts, entries and successful elisions the
+/// lock sees, the policy's observable state stays inside its bounds:
+/// retry budgets never underflow past zero (no wrap-around), penalties
+/// never exceed the cap, the forfeit window never exceeds
+/// [`AdaptivePolicy::max_forfeit`], and the success streak never
+/// escapes the re-arm period.
+#[test]
+fn random_histories_never_break_the_state_bounds() {
+    forall(96, 0xADA7_1, |g| {
+        let b = gen_budgets(g.rng());
+        let p = AdaptivePolicy::new(b);
+        let steps = g.size(1, 400);
+        for _ in 0..steps {
+            match g.rng().gen_range(0..3u32) {
+                0 => {
+                    p.on_abort(gen_reason(g.rng()));
+                }
+                1 => {
+                    let _ = p.on_entry();
+                }
+                _ => {
+                    p.on_elided();
+                }
+            }
+            let probe = p.probe();
+            for c in 0..5 {
+                assert!(
+                    probe.retry_left[c] <= eff_retry(&b, c),
+                    "class {c}: retry_left {} escaped budget {} ({b:?})",
+                    probe.retry_left[c],
+                    eff_retry(&b, c),
+                );
+                assert!(
+                    probe.penalty[c] <= cap(&b),
+                    "class {c}: penalty {} above cap {} ({b:?})",
+                    probe.penalty[c],
+                    cap(&b),
+                );
+            }
+            assert!(
+                probe.forfeit <= p.max_forfeit(),
+                "forfeit {} above max_forfeit {} ({b:?})",
+                probe.forfeit,
+                p.max_forfeit(),
+            );
+            assert!(
+                probe.successes < eff_rearm(&b),
+                "success streak {} reached re-arm period {} without resetting",
+                probe.successes,
+                eff_rearm(&b),
+            );
+        }
+    });
+}
+
+/// Once elision is forfeited, it always comes back: at most
+/// `max_forfeit()` consecutive entries acquire, the last of those
+/// reports `rearmed`, and the very next entry elides again.
+#[test]
+fn forfeit_always_rearms_within_its_bound() {
+    forall(96, 0xADA7_2, |g| {
+        let b = gen_budgets(g.rng());
+        let p = AdaptivePolicy::new(b);
+        // Randomized warm-up so the re-arm bound holds from any state,
+        // not just a fresh policy.
+        for _ in 0..g.size(0, 60) {
+            match g.rng().gen_range(0..3u32) {
+                0 => {
+                    p.on_abort(gen_reason(g.rng()));
+                }
+                1 => {
+                    let _ = p.on_entry();
+                }
+                _ => {
+                    p.on_elided();
+                }
+            }
+        }
+        // Hammer one class until a forfeit actually fires.
+        let reason = gen_reason(g.rng());
+        let mut fired = false;
+        for _ in 0..(eff_retry(&b, reason.index()) as u64 * 2 + 2) {
+            if p.on_abort(reason) {
+                fired = true;
+                break;
+            }
+            // A forfeit may already be pending from the warm-up; that
+            // still gives us a window to drain below.
+            if p.probe().forfeit > 0 {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "budget {:?} never forfeited", b.retry);
+        let mut acquires = 0u64;
+        loop {
+            match p.on_entry() {
+                EntryDecision::Elide => break,
+                EntryDecision::Acquire { rearmed } => {
+                    acquires += 1;
+                    assert!(
+                        acquires <= p.max_forfeit() as u64,
+                        "forfeit window exceeded max_forfeit {} ({b:?})",
+                        p.max_forfeit(),
+                    );
+                    if rearmed {
+                        // Re-arm is the edge back: the next entry must
+                        // elide.
+                        assert!(matches!(p.on_entry(), EntryDecision::Elide));
+                        break;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// A lock that goes quiet converges back to always-elide: enough
+/// uninterrupted successful elisions drain any forfeit window, decay
+/// every penalty to zero and refill every retry budget.
+#[test]
+fn quiet_lock_converges_to_always_elide() {
+    forall(96, 0xADA7_3, |g| {
+        let b = gen_budgets(g.rng());
+        let p = AdaptivePolicy::new(b);
+        // Arbitrary noisy history.
+        for _ in 0..g.size(1, 200) {
+            match g.rng().gen_range(0..3u32) {
+                0 => {
+                    p.on_abort(gen_reason(g.rng()));
+                }
+                1 => {
+                    let _ = p.on_entry();
+                }
+                _ => {
+                    p.on_elided();
+                }
+            }
+        }
+        // Quiet phase: every section either drains the forfeit window
+        // or elides successfully. Budget: the whole window plus one
+        // re-arm period per penalty level, with one spare period.
+        let quiet =
+            p.max_forfeit() as u64 + (cap(&b) as u64 + 2) * eff_rearm(&b) as u64;
+        for _ in 0..quiet {
+            if matches!(p.on_entry(), EntryDecision::Elide) {
+                p.on_elided();
+            }
+        }
+        let probe = p.probe();
+        assert_eq!(probe.forfeit, 0, "forfeit window must drain ({b:?})");
+        for c in 0..5 {
+            assert_eq!(probe.penalty[c], 0, "class {c} penalty must decay ({b:?})");
+            assert_eq!(
+                probe.retry_left[c],
+                eff_retry(&b, c),
+                "class {c} budget must refill ({b:?})"
+            );
+        }
+        // And it stays converged: further quiet sections always elide.
+        for _ in 0..eff_rearm(&b) as u64 + 1 {
+            assert!(matches!(p.on_entry(), EntryDecision::Elide));
+            p.on_elided();
+        }
+    });
+}

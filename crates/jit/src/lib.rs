@@ -19,6 +19,9 @@
 //!   diagnostics;
 //! * [`lower`] — lock-plan selection and back-edge check-point
 //!   placement;
+//! * [`obsprofile`] — profile-guided demotion: a prior run's
+//!   `solero-obs` JSONL export names write-heavy locks, whose regions
+//!   are re-planned conventionally;
 //! * [`interp`] — the execution engine: runs regions speculatively with
 //!   frame rollback, exactly as the paper's generated code re-executes
 //!   a failed critical section.
@@ -61,6 +64,7 @@ pub mod interp;
 pub mod ir;
 pub mod liveness;
 pub mod lower;
+pub mod obsprofile;
 pub mod opt;
 pub mod profile;
 pub mod verify;

@@ -13,10 +13,10 @@
 //! modelling the JIT-inserted asynchronous check-points at loop
 //! back-edges (§3.3).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::analysis::{classify_method, ClassifiedRegion, RegionClass, SyncRegion};
-use crate::ir::{MethodId, Point, Program};
+use crate::ir::{LockId, MethodId, Point, Program};
 
 /// The code shape chosen for a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +82,23 @@ impl ProgramPlan {
     /// Iterates over all planned regions.
     pub fn iter(&self) -> impl Iterator<Item = (&(MethodId, Point), &PlannedRegion)> {
         self.regions.iter()
+    }
+
+    /// Demotes every region synchronizing on one of `locks` to
+    /// [`LockPlan::Conventional`], regardless of its static class —
+    /// the profile-guided override fed by
+    /// [`crate::obsprofile::ObsProfile::write_heavy`]. The static
+    /// classification is kept (it is still true of the code); only the
+    /// plan changes. Returns how many regions were demoted.
+    pub fn demote_locks(&mut self, locks: &BTreeSet<LockId>) -> usize {
+        let mut demoted = 0;
+        for r in self.regions.values_mut() {
+            if locks.contains(&r.region.lock) && r.plan != LockPlan::Conventional {
+                r.plan = LockPlan::Conventional;
+                demoted += 1;
+            }
+        }
+        demoted
     }
 
     /// Count of regions with each plan, for diagnostics:

@@ -1,0 +1,137 @@
+//! Regression test for profile-guided demotion (`obsprofile` →
+//! `ProgramPlan::demote_locks`).
+//!
+//! A hand-written JSONL profile — every line valid under the same
+//! schema the `obs_check` CI binary enforces — shows one lock to be
+//! write-heavy. Re-planning must demote exactly that lock's region to
+//! conventional locking and leave the read-only regions of every other
+//! lock elided. A malformed profile must be rejected with the line
+//! number, never silently skipped.
+
+use std::collections::BTreeSet;
+
+use solero_heap::ClassId;
+use solero_jit::builder::MethodBuilder;
+use solero_jit::ir::{LockId, Point, Program};
+use solero_jit::lower::{LockPlan, ProgramPlan};
+use solero_jit::obsprofile::ObsProfile;
+use solero_obs::json::JsonObject;
+use solero_obs::schema::validate_line;
+
+const C: ClassId = ClassId::new(1);
+
+/// Two methods, each a statically read-only region, on locks 0 and 7.
+fn two_reader_program() -> Program {
+    let mut p = Program::new();
+    let mut b = MethodBuilder::new("get_quiet", 1);
+    let v = b.fresh_local();
+    b.monitor_enter(0).get_field(v, 0, C, 0).monitor_exit(0).ret(Some(v));
+    p.add(b.finish());
+    let mut b = MethodBuilder::new("get_hot", 1);
+    let v = b.fresh_local();
+    b.monitor_enter(7).get_field(v, 0, C, 0).monitor_exit(7).ret(Some(v));
+    p.add(b.finish());
+    p
+}
+
+fn event(ts: u64, lock: u64, kind: &str) -> String {
+    let mut o = JsonObject::new()
+        .str("type", "event")
+        .num("ts_ns", ts)
+        .num("thread", 0)
+        .num("lock", lock)
+        .str("kind", kind);
+    if kind == "abort" {
+        o = o.str("reason", "word_changed_at_exit");
+    }
+    o.finish()
+}
+
+/// The profile of a run where lock 7 was hammered by writers while
+/// lock 0 stayed read-only. Includes a meta header like a real export.
+fn hot_lock_profile() -> String {
+    let mut lines = vec![JsonObject::new()
+        .str("type", "meta")
+        .num("version", 1)
+        .num("threads", 4)
+        .num("events_recorded", 28)
+        .num("events_retained", 28)
+        .finish()];
+    let mut ts = 0;
+    // Lock 0: pure elision.
+    for _ in 0..6 {
+        ts += 1;
+        lines.push(event(ts, 0, "elision_attempt"));
+    }
+    // Lock 7: writes dominate, speculation keeps aborting.
+    for _ in 0..8 {
+        ts += 1;
+        lines.push(event(ts, 7, "write_acquire"));
+        ts += 1;
+        lines.push(event(ts, 7, "write_release"));
+    }
+    for _ in 0..3 {
+        ts += 1;
+        lines.push(event(ts, 7, "elision_attempt"));
+        ts += 1;
+        lines.push(event(ts, 7, "abort"));
+    }
+    lines.join("\n")
+}
+
+#[test]
+fn profile_lines_pass_the_obs_check_schema() {
+    for line in hot_lock_profile().lines() {
+        validate_line(line).expect("profile must satisfy the export schema");
+    }
+}
+
+#[test]
+fn write_heavy_lock_is_demoted_read_only_locks_stay_elided() {
+    let p = two_reader_program();
+    let mut plan = ProgramPlan::compute(&p);
+    assert_eq!(plan.plan_counts(), (2, 0, 0), "both regions start elided");
+
+    let prof = ObsProfile::parse(&hot_lock_profile()).expect("valid profile");
+    let heavy = prof.write_heavy(5, 0.5);
+    assert_eq!(heavy, BTreeSet::from([7 as LockId]), "exactly the hot lock");
+
+    let demoted = plan.demote_locks(&heavy);
+    assert_eq!(demoted, 1, "exactly one region demoted");
+    assert_eq!(plan.plan_counts(), (1, 0, 1));
+    let quiet = plan.region_at(0, Point { block: 0, inst: 0 }).unwrap();
+    let hot = plan.region_at(1, Point { block: 0, inst: 0 }).unwrap();
+    assert_eq!(quiet.plan, LockPlan::Elide, "lock 0 keeps eliding");
+    assert_eq!(hot.plan, LockPlan::Conventional, "lock 7 demoted");
+
+    // Demotion is idempotent.
+    assert_eq!(plan.demote_locks(&heavy), 0);
+}
+
+#[test]
+fn malformed_profile_is_rejected_with_line_number() {
+    let mut profile = hot_lock_profile();
+    profile.push_str("\n{\"type\":\"event\",\"ts_ns\":1,\"kind\":\"abort\"}");
+    let last = profile.lines().count();
+    let err = ObsProfile::parse(&profile).unwrap_err();
+    assert!(
+        err.starts_with(&format!("line {last}:")),
+        "error must carry the offending line number: {err}"
+    );
+
+    // Unknown event kinds are schema violations too.
+    let bad_kind = event(1, 0, "quantum_tunnel");
+    let err = ObsProfile::parse(&bad_kind).unwrap_err();
+    assert!(err.contains("kind"), "{err}");
+}
+
+#[test]
+fn quiet_profile_demotes_nothing() {
+    let p = two_reader_program();
+    let mut plan = ProgramPlan::compute(&p);
+    let quiet: String = (0..10).map(|i| event(i, 0, "elision_attempt")).collect::<Vec<_>>().join("\n");
+    let prof = ObsProfile::parse(&quiet).unwrap();
+    assert!(prof.write_heavy(5, 0.5).is_empty());
+    assert_eq!(plan.demote_locks(&prof.write_heavy(5, 0.5)), 0);
+    assert_eq!(plan.plan_counts(), (2, 0, 0));
+}

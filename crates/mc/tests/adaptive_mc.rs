@@ -1,0 +1,176 @@
+//! Model-checked starvation freedom for the adaptive elision policy.
+//!
+//! Build with `RUSTFLAGS="--cfg solero_mc"` (see scripts/ci.sh).
+//!
+//! The scenario: two writers (one empty write section each) and one
+//! reader on an adaptive lock with [`AdaptiveBudgets::minimal`] —
+//! every retry budget is 1, every forfeit window is 1 section and the
+//! re-arm period is 1, so the whole disable → skip → re-arm cycle is
+//! reachable inside two read sections. The claims, checked in **every
+//! explored schedule**:
+//!
+//! * the reader completes both sections — forfeiting elision must
+//!   degrade to real acquisition, never to spinning forever;
+//! * the abort taxonomy keeps balancing even when the policy skips
+//!   speculation: a policy skip is *not* an abort, so
+//!   `read_aborts == abort_reason_sum()` and
+//!   `fallback_acquires == abort_retry_exhausted` hold regardless;
+//! * a section completes at most one way
+//!   (`elision_success + fallback_acquires + policy_skips ≤
+//!   read_enters`) and the policy never re-arms more often than it
+//!   disables.
+//!
+//! The space is drained three ways — plain DFS, DPOR, and a
+//! weak-memory (TSO) pass — because the policy's fast path is a relaxed
+//! load that a store buffer could stale. No violating schedule was
+//! found during development, so there is no replay trace to check in;
+//! a future failure prints one via the checker's standard report.
+#![cfg(solero_mc)]
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use solero::{AdaptiveBudgets, Fault, SoleroConfig, SoleroLock};
+use solero_mc::{spawn, Checker};
+use solero_runtime::spin::SpinConfig;
+
+/// Minimal-state-space adaptive config: no spinning (contention
+/// escalates in one step) and one-step policy budgets.
+fn adaptive_mc_config() -> SoleroConfig {
+    SoleroConfig::builder()
+        .spin(SpinConfig::immediate())
+        .adaptive_budgets(AdaptiveBudgets::minimal())
+        .build()
+}
+
+/// The scenario body, shared by all three exploration modes. Returns
+/// nothing; panics (killing the schedule) on any violated invariant.
+fn two_writers_one_adaptive_reader(skips_seen: &Arc<StdAtomicU64>) -> impl Fn() + Send + 'static {
+    let skips_seen = Arc::clone(skips_seen);
+    move || {
+        let lock = Arc::new(SoleroLock::with_config(adaptive_mc_config()));
+
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                spawn(move || {
+                    lock.write(|| {});
+                })
+            })
+            .collect();
+        let reader = {
+            let lock = Arc::clone(&lock);
+            spawn(move || {
+                for _ in 0..2 {
+                    lock.read_only(|_| Ok::<_, Fault>(()))
+                        .expect("adaptive reader must complete every section");
+                }
+            })
+        };
+        for w in writers {
+            w.join();
+        }
+        reader.join();
+
+        assert!(!lock.is_locked(), "no stranded owner after teardown");
+        let s = lock.stats().snapshot();
+        assert_eq!(s.read_enters, 2, "{s:?}");
+        assert_eq!(
+            s.read_aborts,
+            s.abort_reason_sum(),
+            "taxonomy must balance even when the policy skips: {s:?}"
+        );
+        assert_eq!(s.fallback_acquires, s.abort_retry_exhausted, "{s:?}");
+        assert!(
+            s.elision_success + s.fallback_acquires + s.policy_skips <= s.read_enters,
+            "a section completes at most one way: {s:?}"
+        );
+        assert!(
+            s.policy_rearms <= s.policy_disables,
+            "re-arm without a prior disable: {s:?}"
+        );
+        skips_seen.fetch_add(s.policy_skips, StdOrdering::Relaxed);
+    }
+}
+
+/// Plain DFS over the bounded space.
+#[test]
+fn adaptive_reader_completes_under_dfs() {
+    let skips = Arc::new(StdAtomicU64::new(0));
+    let stats = Checker::exhaustive()
+        .preemption_bound(Some(2))
+        .check("adaptive_dfs", two_writers_one_adaptive_reader(&skips))
+        .expect("no schedule starves the adaptive reader");
+    assert!(
+        stats.complete || solero_mc::budget_overridden(),
+        "bounded space must be exhausted"
+    );
+    assert!(
+        skips.load(StdOrdering::Relaxed) > 0 || solero_mc::budget_overridden(),
+        "exploration must cover at least one policy-skip schedule"
+    );
+}
+
+/// Same space under DPOR — the verdict must not change when commuting
+/// schedules are pruned.
+#[test]
+fn adaptive_reader_completes_under_dpor() {
+    let skips = Arc::new(StdAtomicU64::new(0));
+    let stats = Checker::dpor()
+        .preemption_bound(Some(2))
+        .check("adaptive_dpor", two_writers_one_adaptive_reader(&skips))
+        .expect("DPOR finds no starving schedule either");
+    assert!(
+        stats.complete || solero_mc::budget_overridden(),
+        "reduced space must be exhausted"
+    );
+}
+
+/// TSO drain: the policy fast path reads its forfeit counter with a
+/// relaxed load, so give the store buffers a chance to serve it stale —
+/// staleness may mis-route one section, but must never break
+/// completion or the taxonomy. Store buffering multiplies the state
+/// space, so this pass slims the scenario to one writer (enough to
+/// abort the reader and trip the one-step budgets) and prunes with
+/// DPOR; the 2-writer interleavings are covered SC by the DFS/DPOR
+/// passes above.
+#[test]
+fn adaptive_reader_completes_under_weak_memory() {
+    let stats = Checker::dpor()
+        .preemption_bound(Some(2))
+        .weak_memory(true)
+        .check("adaptive_tso", || {
+            let lock = Arc::new(SoleroLock::with_config(adaptive_mc_config()));
+            let writer = {
+                let lock = Arc::clone(&lock);
+                spawn(move || {
+                    lock.write(|| {});
+                })
+            };
+            let reader = {
+                let lock = Arc::clone(&lock);
+                spawn(move || {
+                    for _ in 0..2 {
+                        lock.read_only(|_| Ok::<_, Fault>(()))
+                            .expect("adaptive reader must complete every section");
+                    }
+                })
+            };
+            writer.join();
+            reader.join();
+
+            assert!(!lock.is_locked(), "no stranded owner after teardown");
+            let s = lock.stats().snapshot();
+            assert_eq!(s.read_aborts, s.abort_reason_sum(), "{s:?}");
+            assert_eq!(s.fallback_acquires, s.abort_retry_exhausted, "{s:?}");
+            assert!(
+                s.elision_success + s.fallback_acquires + s.policy_skips <= s.read_enters,
+                "{s:?}"
+            );
+        })
+        .expect("store-buffer staleness must not starve the reader");
+    assert!(
+        stats.complete || solero_mc::budget_overridden(),
+        "weak-memory space must be exhausted"
+    );
+}

@@ -39,6 +39,19 @@ impl AbortReason {
         AbortReason::Inflation,
     ];
 
+    /// The reason's position in [`AbortReason::ALL`] — the canonical
+    /// dense index used by per-class counter arrays (see
+    /// [`crate::recent::RecentAborts`]).
+    pub fn index(self) -> usize {
+        match self {
+            AbortReason::LockedAtEntry => 0,
+            AbortReason::WordChangedAtExit => 1,
+            AbortReason::AsyncRevalidationFail => 2,
+            AbortReason::RetryExhaustedFallback => 3,
+            AbortReason::Inflation => 4,
+        }
+    }
+
     /// Stable machine-readable name (used in JSONL and report output,
     /// and matching the `abort_*` counter names in `StatsSnapshot`).
     pub fn name(self) -> &'static str {

@@ -1,0 +1,160 @@
+//! Cheap per-lock recent-abort counters.
+//!
+//! The event ring and latency histograms only exist behind the `trace`
+//! feature, which is deliberately too expensive to leave on in
+//! production runs. Adaptive elision, however, needs *some* abort
+//! history at every section entry — so this module provides the
+//! cheapest possible substrate: one relaxed `u32` per taxonomy class,
+//! always compiled in, no recorder required.
+//!
+//! "Recent" is defined by the caller: [`RecentAborts::decay`] halves
+//! every class (geometric forgetting), so a policy that decays on each
+//! re-arm sees an exponentially weighted window, while a diagnostic
+//! reader that never decays sees totals since construction (or the
+//! last [`RecentAborts::reset`]).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::event::AbortReason;
+
+/// Per-taxonomy-class abort counters with geometric decay.
+///
+/// All operations are relaxed: the counts are advisory history for
+/// adaptation and reporting, not synchronization. Increments saturate
+/// at `u32::MAX` instead of wrapping so a long-lived hot lock can never
+/// make the history lie about its ordering.
+///
+/// # Examples
+///
+/// ```
+/// use solero_obs::{AbortReason, RecentAborts};
+///
+/// let r = RecentAborts::new();
+/// r.note(AbortReason::LockedAtEntry);
+/// r.note(AbortReason::LockedAtEntry);
+/// assert_eq!(r.count(AbortReason::LockedAtEntry), 2);
+/// assert_eq!(r.total(), 2);
+/// r.decay();
+/// assert_eq!(r.count(AbortReason::LockedAtEntry), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct RecentAborts {
+    counts: [AtomicU32; 5],
+}
+
+impl RecentAborts {
+    /// Fresh counters, all zero.
+    pub const fn new() -> Self {
+        RecentAborts {
+            counts: [
+                AtomicU32::new(0),
+                AtomicU32::new(0),
+                AtomicU32::new(0),
+                AtomicU32::new(0),
+                AtomicU32::new(0),
+            ],
+        }
+    }
+
+    /// Records one abort of class `reason` (saturating).
+    pub fn note(&self, reason: AbortReason) {
+        let c = &self.counts[reason.index()];
+        // Saturating add: one lost increment at u32::MAX is preferable
+        // to a wrap that makes a hot class look quiet.
+        let _ = c.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+            n.checked_add(1)
+        });
+    }
+
+    /// The current count for one class.
+    pub fn count(&self, reason: AbortReason) -> u32 {
+        self.counts[reason.index()].load(Ordering::Relaxed)
+    }
+
+    /// Sum over all classes.
+    pub fn total(&self) -> u64 {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as u64)
+            .sum()
+    }
+
+    /// All five counts, in [`AbortReason::ALL`] order.
+    pub fn snapshot(&self) -> [u32; 5] {
+        [
+            self.counts[0].load(Ordering::Relaxed),
+            self.counts[1].load(Ordering::Relaxed),
+            self.counts[2].load(Ordering::Relaxed),
+            self.counts[3].load(Ordering::Relaxed),
+            self.counts[4].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Halves every class — geometric forgetting, so old bursts fade
+    /// instead of poisoning the history forever.
+    pub fn decay(&self) {
+        for c in &self.counts {
+            let _ = c.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| Some(n / 2));
+        }
+    }
+
+    /// Zeroes every class.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notes_land_in_their_class() {
+        let r = RecentAborts::new();
+        for reason in AbortReason::ALL {
+            r.note(reason);
+        }
+        r.note(AbortReason::Inflation);
+        assert_eq!(r.snapshot(), [1, 1, 1, 1, 2]);
+        assert_eq!(r.total(), 6);
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, reason) in AbortReason::ALL.into_iter().enumerate() {
+            assert_eq!(reason.index(), i, "{}", reason.name());
+        }
+    }
+
+    #[test]
+    fn decay_halves_and_converges_to_zero() {
+        let r = RecentAborts::new();
+        for _ in 0..9 {
+            r.note(AbortReason::WordChangedAtExit);
+        }
+        r.decay();
+        assert_eq!(r.count(AbortReason::WordChangedAtExit), 4);
+        for _ in 0..8 {
+            r.decay();
+        }
+        assert_eq!(r.total(), 0, "repeated decay must reach zero");
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let r = RecentAborts::new();
+        r.counts[0].store(u32::MAX, Ordering::Relaxed);
+        r.note(AbortReason::LockedAtEntry);
+        assert_eq!(r.count(AbortReason::LockedAtEntry), u32::MAX);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let r = RecentAborts::new();
+        r.note(AbortReason::Inflation);
+        r.reset();
+        assert_eq!(r.total(), 0);
+    }
+}

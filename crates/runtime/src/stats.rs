@@ -107,6 +107,16 @@ counters! {
     /// Aborts: the lock inflated and the reader went through the
     /// monitor.
     abort_inflation,
+    /// Read-only sections the adaptive policy sent straight to real
+    /// acquisition (elision forfeited). Not an abort: speculation never
+    /// started, so these do NOT contribute to `read_aborts`.
+    policy_skips,
+    /// Times the adaptive policy forfeited elision (a per-class retry
+    /// budget hit zero while elision was still enabled).
+    policy_disables,
+    /// Times the adaptive policy re-armed elision (a forfeit window
+    /// drained and speculation resumed).
+    policy_rearms,
 }
 
 impl StatsSnapshot {

@@ -12,6 +12,8 @@
 //!   (Figures 11 and 14);
 //! * [`dacapo`] — synthetic applications matching the DaCapo lock
 //!   profiles of Table 1 (Figure 16);
+//! * [`bursty`] — the write-bursty phase workload behind the adaptive
+//!   policy's auto-disable/re-enable evidence (`BENCH_adaptive.json`);
 //! * [`table1`] — the lock-statistics table itself;
 //! * [`driver`] — the §4.1 best-of-windows, average-of-runs throughput
 //!   protocol.
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bursty;
 pub mod dacapo;
 pub mod driver;
 pub mod empty;

@@ -104,7 +104,8 @@ for seed in "${PINNED_SEEDS[@]}"; do
     SOLERO_TESTKIT_SEED="${seed}" cargo test -q --offline \
         --test read_elision_stress \
         --test collections_contention_stress \
-        --test fallback_starvation
+        --test fallback_starvation \
+        --test adaptive_policy_stress
     SOLERO_TESTKIT_SEED="${seed}" cargo test -q --offline \
         -p solero \
         -p solero-runtime \
@@ -113,7 +114,16 @@ for seed in "${PINNED_SEEDS[@]}"; do
         --test lock_state_props \
         --test word_props \
         --test model_based \
-        --test random_programs
+        --test random_programs \
+        --test adaptive_policy_props
 done
+
+# The adaptive trajectory bench must keep producing a well-formed
+# document (the full-size run is checked in as BENCH_adaptive.json; the
+# quick run here proves the pipeline, not the numbers).
+echo "== tier-1: adaptive trajectory smoke (quick) =="
+cargo run -q --offline -p solero-bench --bin bench_adaptive -- \
+    --quick --out results/BENCH_adaptive_quick.json 2> /dev/null
+test -s results/BENCH_adaptive_quick.json
 
 echo "== tier-1 green =="

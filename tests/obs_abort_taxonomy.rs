@@ -17,9 +17,22 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use solero::{Fault, SoleroStrategy, SyncStrategy, WriteIntent};
+use solero::{Fault, SoleroConfig, SoleroStrategy, SyncStrategy, WriteIntent};
 use solero_runtime::stats::StatsSnapshot;
 use solero_testkit::{seed_matrix, seed_override, stress, StressConfig};
+
+/// The SOLERO variants the sweeps cover: the static lock and the
+/// adaptive contender. The taxonomy invariants are policy-independent —
+/// a policy skip is not an abort — so both must satisfy every one.
+fn solero_fleet() -> [(&'static str, SoleroStrategy); 2] {
+    [
+        ("SOLERO", SoleroStrategy::new()),
+        (
+            "Adaptive-SOLERO",
+            SoleroStrategy::configured(SoleroConfig::builder().adaptive(true).build()),
+        ),
+    ]
+}
 
 const THREADS: usize = 6;
 /// Workers `0..WRITERS` mutate; the rest read speculatively.
@@ -30,8 +43,7 @@ const CELLS: usize = 64;
 
 /// Writers hammer write sections over a small cell array while readers
 /// run speculative read sections with a mid-section checkpoint.
-fn hostile_run(name: &str, seed: u64) -> StatsSnapshot {
-    let strat = SoleroStrategy::new();
+fn hostile_run(name: &str, seed: u64, strat: &SoleroStrategy) -> StatsSnapshot {
     let cells: Vec<AtomicU64> = (0..CELLS).map(|_| AtomicU64::new(0)).collect();
     stress(name, &StressConfig::new(THREADS, ROUNDS, seed), |w| {
         if w.id < WRITERS {
@@ -61,18 +73,24 @@ fn hostile_run(name: &str, seed: u64) -> StatsSnapshot {
 
 #[test]
 fn quiet_readers_never_abort() {
-    let strat = SoleroStrategy::new();
-    let cell = AtomicU64::new(7);
-    for _ in 0..10_000 {
-        let v = strat
-            .read_section(|_| Ok(cell.load(Ordering::Relaxed)))
-            .expect("no faults");
-        assert_eq!(v, 7);
+    // Quiet implies zero aborts for every SOLERO variant — including
+    // the adaptive one, whose policy must stay entirely out of the way
+    // (no skips, no disables) when speculation never fails.
+    for (name, strat) in solero_fleet() {
+        let cell = AtomicU64::new(7);
+        for _ in 0..10_000 {
+            let v = strat
+                .read_section(|_| Ok(cell.load(Ordering::Relaxed)))
+                .expect("no faults");
+            assert_eq!(v, 7);
+        }
+        let s = strat.snapshot();
+        assert_eq!(s.read_aborts, 0, "[{name}] {s}");
+        assert_eq!(s.abort_reason_sum(), 0, "[{name}] {s}");
+        assert_eq!(s.fallback_acquires, 0, "[{name}] {s}");
+        assert_eq!(s.policy_skips, 0, "[{name}] quiet policy must not skip: {s}");
+        assert_eq!(s.policy_disables, 0, "[{name}] {s}");
     }
-    let s = strat.snapshot();
-    assert_eq!(s.read_aborts, 0, "{s}");
-    assert_eq!(s.abort_reason_sum(), 0, "{s}");
-    assert_eq!(s.fallback_acquires, 0, "{s}");
 }
 
 #[test]
@@ -85,18 +103,24 @@ fn taxonomy_invariants_hold_under_hostile_writers() {
         .into_iter()
         .enumerate()
     {
-        let s = hostile_run(&format!("taxonomy-m{i}"), seed);
-        assert_eq!(
-            s.read_aborts,
-            s.abort_reason_sum(),
-            "aborts must be classified exactly once: {s}"
-        );
-        assert_eq!(
-            s.abort_retry_exhausted, s.fallback_acquires,
-            "retry-exhausted aborts and fallback acquires are one event: {s}"
-        );
-        if s.abort_inflation > 0 {
-            assert!(s.inflations > 0, "inflation aborts without inflation: {s}");
+        for (name, strat) in solero_fleet() {
+            let s = hostile_run(&format!("taxonomy-m{i}"), seed, &strat);
+            assert_eq!(
+                s.read_aborts,
+                s.abort_reason_sum(),
+                "[{name}] aborts must be classified exactly once: {s}"
+            );
+            assert_eq!(
+                s.abort_retry_exhausted, s.fallback_acquires,
+                "[{name}] retry-exhausted aborts and fallback acquires are one event: {s}"
+            );
+            if s.abort_inflation > 0 {
+                assert!(s.inflations > 0, "[{name}] inflation aborts without inflation: {s}");
+            }
+            assert!(
+                s.elision_success + s.fallback_acquires + s.policy_skips <= s.read_enters,
+                "[{name}] a section completes at most one way: {s}"
+            );
         }
     }
 }
@@ -109,7 +133,7 @@ fn a_held_lock_forces_entry_aborts() {
     // locked-at-entry and/or inflation (spin exhaustion under a long
     // hold legitimately inflates).
     use std::sync::atomic::AtomicBool;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     let strat = SoleroStrategy::new();
     let stop = AtomicBool::new(false);
@@ -123,8 +147,25 @@ fn a_held_lock_forces_entry_aborts() {
                 }
             });
         }
-        std::thread::sleep(Duration::from_millis(10)); // readers spinning
-        strat.write_section(|| std::thread::sleep(Duration::from_millis(50)));
+        // Handshake on the counters rather than sleeping fixed quanta:
+        // under parallel test load a timed hold can end before any
+        // starved reader gets a single attempt in. Hold the lock until
+        // an entry-time abort is actually on the books (deadline-capped
+        // so a genuine regression fails the asserts below, not the
+        // clock).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while strat.snapshot().read_enters == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        strat.write_section(|| {
+            while Instant::now() < deadline {
+                let s = strat.snapshot();
+                if s.abort_locked_at_entry + s.abort_inflation > 0 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
         stop.store(true, Ordering::Release);
     });
     let s = strat.snapshot();

@@ -59,9 +59,14 @@ fn same_sequence_same_state_across_strategies() {
             &SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build()),
             seed,
         );
+        let e = drive(
+            &SoleroStrategy::configured(SoleroConfig::builder().adaptive(true).build()),
+            seed,
+        );
         assert_eq!(a, b, "Lock vs RWLock diverged (seed {seed})");
         assert_eq!(a, c, "Lock vs SOLERO diverged (seed {seed})");
         assert_eq!(a, d, "Lock vs Unelided-SOLERO diverged (seed {seed})");
+        assert_eq!(a, e, "Lock vs Adaptive-SOLERO diverged (seed {seed})");
     }
 }
 
