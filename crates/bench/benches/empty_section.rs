@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use solero_testkit::bench::Criterion;
 use solero_testkit::{criterion_group, criterion_main};
-use solero::{LockStrategy, RwLockStrategy, SoleroConfig, SoleroStrategy, SyncStrategy};
+use solero::{BravoStrategy, JavaRwLock, LockStrategy, RwStrategy, SoleroConfig, SoleroStrategy, SyncStrategy};
 
 fn bench_strategy<S: SyncStrategy>(c: &mut Criterion, name: &str, s: S) {
     c.bench_function(&format!("empty/{name}"), |b| {
@@ -15,7 +15,8 @@ fn bench_strategy<S: SyncStrategy>(c: &mut Criterion, name: &str, s: S) {
 
 fn empty_sections(c: &mut Criterion) {
     bench_strategy(c, "Lock", LockStrategy::new());
-    bench_strategy(c, "RWLock", RwLockStrategy::new());
+    bench_strategy(c, "RWLock", RwStrategy::<JavaRwLock>::new());
+    bench_strategy(c, "BRAVO-RW", BravoStrategy::new());
     bench_strategy(c, "SOLERO", SoleroStrategy::new());
     bench_strategy(
         c,

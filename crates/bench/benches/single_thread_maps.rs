@@ -6,7 +6,7 @@ use std::time::Duration;
 use solero_testkit::bench::Criterion;
 use solero_testkit::{criterion_group, criterion_main};
 use solero_testkit::rng::TestRng;
-use solero::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
+use solero::{JavaRwLock, LockStrategy, RwStrategy, SoleroStrategy, SyncStrategy};
 use solero_workloads::maps::{MapBench, MapConfig, MapKind};
 
 fn bench_map<S: SyncStrategy + 'static>(
@@ -36,7 +36,7 @@ fn maps(c: &mut Criterion) {
                 &format!("{kname}{writes}/RWLock"),
                 kind,
                 writes,
-                RwLockStrategy::new,
+                RwStrategy::<JavaRwLock>::new,
             );
             bench_map(
                 c,

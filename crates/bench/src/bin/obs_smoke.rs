@@ -30,10 +30,10 @@ fn main() {
         windows: 2,
         runs: 1,
     };
-    for (label, make) in solero_bench::figures::MAIN_FLEET {
-        let b = MapBench::new_boxed(MapConfig::paper(MapKind::Hash, 20, 1), make);
+    for entry in solero_bench::figures::fleet() {
+        let b = MapBench::new_boxed(MapConfig::paper(MapKind::Hash, 20, 1), entry.make);
         let m = measure(&cfg, |t, rng: &mut TestRng| b.op(t, rng), || b.snapshot());
-        println!("{label:>8}: {:.0} ops/s", m.ops_per_sec);
+        println!("{:>15}: {:.0} ops/s", entry.name, m.ops_per_sec);
     }
 
     let path = Path::new("results/obs.jsonl");

@@ -16,7 +16,8 @@
 
 use solero_testkit::rng::TestRng;
 use solero::{
-    BoxedStrategy, LockStrategy, RwLockStrategy, SoleroConfig, SoleroStrategy, SyncStrategy,
+    BoxedStrategy, BravoStrategy, JavaRwLock, LockStrategy, RwStrategy, SoleroConfig,
+    SoleroStrategy, SyncStrategy,
 };
 use solero_workloads::dacapo::{DacapoBench, DACAPO_PROFILES};
 use solero_workloads::driver::{measure, Measurement, RunConfig};
@@ -55,25 +56,54 @@ impl HarnessConfig {
     }
 }
 
-/// The strategy fleet the comparative figures iterate — boxed factories
-/// behind the dyn-compatible facade, so one heterogeneous list drives
-/// every sweep.
-pub const MAIN_FLEET: [(&str, fn() -> BoxedStrategy); 4] = [
-    ("Lock", || Box::new(LockStrategy::new())),
-    ("RWLock", || Box::new(RwLockStrategy::new())),
-    ("SOLERO", || Box::new(SoleroStrategy::new())),
-    ("Adaptive-SOLERO", || {
-        Box::new(SoleroStrategy::configured(
-            SoleroConfig::builder().adaptive(true).build(),
-        ))
-    }),
-];
+/// One contender of the benchmark fleet: a display name plus a factory
+/// for a fresh boxed strategy behind the dyn-compatible facade.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetEntry {
+    /// Column/row name used in tables and CSVs.
+    pub name: &'static str,
+    /// Builds a fresh strategy instance.
+    pub make: fn() -> BoxedStrategy,
+}
+
+/// The strategy fleet the comparative figures iterate — one growable
+/// registry, so adding a contender here grows every sweep table, header
+/// and CSV with it. `Lock` must stay first: the sweeps normalize their
+/// throughput to it.
+pub fn fleet() -> Vec<FleetEntry> {
+    vec![
+        FleetEntry {
+            name: "Lock",
+            make: || Box::new(LockStrategy::new()),
+        },
+        FleetEntry {
+            name: "RWLock",
+            make: || Box::new(RwStrategy::<JavaRwLock>::new()),
+        },
+        FleetEntry {
+            name: "BRAVO-RW",
+            make: || Box::new(BravoStrategy::new()),
+        },
+        FleetEntry {
+            name: "SOLERO",
+            make: || Box::new(SoleroStrategy::new()),
+        },
+        FleetEntry {
+            name: "Adaptive-SOLERO",
+            make: || {
+                Box::new(SoleroStrategy::configured(
+                    SoleroConfig::builder().adaptive(true).build(),
+                ))
+            },
+        },
+    ]
+}
 
 /// Sweep-table headers: the lead column followed by the fleet names,
-/// so tables grow with [`MAIN_FLEET`] instead of hardcoding it.
+/// so tables grow with [`fleet`] instead of hardcoding it.
 fn fleet_header(lead: &'static str) -> Vec<&'static str> {
     let mut h = vec![lead];
-    h.extend(MAIN_FLEET.iter().map(|(name, _)| *name));
+    h.extend(fleet().iter().map(|e| e.name));
     h
 }
 
@@ -122,7 +152,8 @@ pub fn fig10(h: &HarnessConfig) -> Table {
     let lock = measure_empty(&cfg, LockStrategy::new());
     let entries: Vec<(&str, Measurement)> = vec![
         ("Lock", lock),
-        ("RWLock", measure_empty(&cfg, RwLockStrategy::new())),
+        ("RWLock", measure_empty(&cfg, RwStrategy::<JavaRwLock>::new())),
+        ("BRAVO-RW", measure_empty(&cfg, BravoStrategy::new())),
         ("SOLERO", measure_empty(&cfg, SoleroStrategy::new())),
         (
             "Unelided-SOLERO",
@@ -176,9 +207,9 @@ pub fn fig11(h: &HarnessConfig) -> Table {
         (MapKind::Tree, "TreeMap", 5),
     ] {
         let mc = MapConfig::paper(kind, writes, 1);
-        let ops: Vec<f64> = MAIN_FLEET
+        let ops: Vec<f64> = fleet()
             .iter()
-            .map(|(_, make)| measure_map(&cfg, mc, make).ops_per_sec)
+            .map(|e| measure_map(&cfg, mc, e.make).ops_per_sec)
             .collect();
         let mut row = vec![format!("{label} ({writes}% writes)")];
         row.extend(ops.iter().map(|o| f3(o / ops[0] * 100.0)));
@@ -189,7 +220,7 @@ pub fn fig11(h: &HarnessConfig) -> Table {
     let lock = measure_jbb(&cfg, || Box::new(LockStrategy::new())).ops_per_sec;
     let so = measure_jbb(&cfg, || Box::new(SoleroStrategy::new())).ops_per_sec;
     let mut row = vec!["SPECjbb2005 (mini)".to_string()];
-    for (name, _) in MAIN_FLEET {
+    for FleetEntry { name, .. } in fleet() {
         row.push(match name {
             "Lock" => "100.0".into(),
             "SOLERO" => f3(so / lock * 100.0),
@@ -200,8 +231,8 @@ pub fn fig11(h: &HarnessConfig) -> Table {
     t
 }
 
-/// Shared sweep: throughput of the [`MAIN_FLEET`] strategies across
-/// thread counts, normalized to Lock at 1 thread.
+/// Shared sweep: throughput of the [`fleet`] strategies across thread
+/// counts, normalized to Lock at 1 thread.
 fn sweep_map(h: &HarnessConfig, kind: MapKind, writes: u32, fine: bool, title: &str) -> Table {
     let mut t = Table::new(title, &fleet_header("threads"));
     let mut base = None;
@@ -209,9 +240,9 @@ fn sweep_map(h: &HarnessConfig, kind: MapKind, writes: u32, fine: bool, title: &
         let cfg = h.run(n);
         let shards = if fine { n } else { 1 };
         let mc = MapConfig::paper(kind, writes, shards);
-        let ops: Vec<f64> = MAIN_FLEET
+        let ops: Vec<f64> = fleet()
             .iter()
-            .map(|(_, make)| measure_map(&cfg, mc, make).ops_per_sec)
+            .map(|e| measure_map(&cfg, mc, e.make).ops_per_sec)
             .collect();
         let b = *base.get_or_insert(ops[0]);
         let mut row = vec![n.to_string()];
@@ -466,8 +497,12 @@ pub fn latency(h: &HarnessConfig) -> Table {
         row("Lock", measure_latency(threads, samples, |tt, rng| b.op(tt, rng)));
     }
     {
-        let b = MapBench::new(mc, RwLockStrategy::new);
+        let b = MapBench::new(mc, RwStrategy::<JavaRwLock>::new);
         row("RWLock", measure_latency(threads, samples, |tt, rng| b.op(tt, rng)));
+    }
+    {
+        let b = MapBench::new(mc, BravoStrategy::new);
+        row("BRAVO-RW", measure_latency(threads, samples, |tt, rng| b.op(tt, rng)));
     }
     {
         let b = MapBench::new(mc, SoleroStrategy::new);
@@ -485,27 +520,31 @@ mod tests {
     }
 
     #[test]
-    fn fig10_produces_six_rows() {
+    fn fig10_produces_seven_rows() {
         let t = fig10(&tiny());
-        assert_eq!(t.len(), 6);
+        assert_eq!(t.len(), 7);
         let csv = t.to_csv();
         assert!(csv.contains("WeakBarrier-SOLERO"));
         assert!(csv.contains("Adaptive-SOLERO"));
+        assert!(csv.contains("BRAVO-RW"));
     }
 
     #[test]
-    fn fleet_tables_carry_the_adaptive_contender() {
-        assert!(
-            MAIN_FLEET.iter().any(|(n, _)| *n == "Adaptive-SOLERO"),
-            "the sweep fleet must include the adaptive strategy"
-        );
+    fn fleet_registry_carries_every_contender() {
+        let fleet = fleet();
+        for required in ["Lock", "RWLock", "BRAVO-RW", "SOLERO", "Adaptive-SOLERO"] {
+            assert!(
+                fleet.iter().any(|e| e.name == required),
+                "the sweep fleet must include {required}"
+            );
+        }
+        assert_eq!(fleet[0].name, "Lock", "sweeps normalize to Lock");
         let header = fleet_header("threads");
-        assert_eq!(header.len(), MAIN_FLEET.len() + 1);
+        assert_eq!(header.len(), fleet.len() + 1);
         assert_eq!(header[0], "threads");
-        assert!(header.contains(&"Adaptive-SOLERO"));
         // Every fleet factory really produces its advertised name.
-        for (name, make) in MAIN_FLEET {
-            assert_eq!(make().name(), name);
+        for e in fleet {
+            assert_eq!((e.make)().name(), e.name);
         }
     }
 

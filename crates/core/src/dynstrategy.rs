@@ -169,14 +169,16 @@ impl dyn DynSyncStrategy + '_ {
 mod tests {
     use super::*;
     use crate::config::SoleroConfig;
-    use crate::strategy::{LockStrategy, RwLockStrategy, SoleroStrategy};
+    use crate::strategy::{BravoStrategy, LockStrategy, RwStrategy, SoleroStrategy};
+    use solero_rwlock::JavaRwLock;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     fn fleet() -> Vec<BoxedStrategy> {
         vec![
             Box::new(LockStrategy::new()),
-            Box::new(RwLockStrategy::new()),
+            Box::new(RwStrategy::<JavaRwLock>::new()),
+            Box::new(BravoStrategy::new()),
             Box::new(SoleroStrategy::new()),
             Box::new(SoleroStrategy::configured(
                 SoleroConfig::builder().unelided(true).build(),
@@ -255,6 +257,9 @@ mod tests {
     #[test]
     fn names_survive_dynamic_dispatch() {
         let names: Vec<&str> = fleet().iter().map(|s| s.name()).collect();
-        assert_eq!(names, ["Lock", "RWLock", "SOLERO", "Unelided-SOLERO"]);
+        assert_eq!(
+            names,
+            ["Lock", "RWLock", "BRAVO-RW", "SOLERO", "Unelided-SOLERO"]
+        );
     }
 }

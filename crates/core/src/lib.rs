@@ -47,9 +47,11 @@
 //! * [`ReadSession`] / [`MostlySession`] / [`Checkpoint`] /
 //!   [`WriteIntent`] — contexts handed to critical-section closures,
 //!   carrying validation check-points and the in-place upgrade;
-//! * [`SyncStrategy`] with [`LockStrategy`], [`RwLockStrategy`],
-//!   [`SoleroStrategy`] — the three lock implementations the paper
-//!   compares, behind one interface so workloads are shared;
+//! * [`SyncStrategy`] with [`LockStrategy`], [`RwStrategy`] (over any
+//!   [`RawRwLock`]: the `RWLock` baseline [`JavaRwLock`] or the BRAVO
+//!   biased lock [`BravoLock`]), [`SoleroStrategy`] — the lock
+//!   implementations the evaluation compares, behind one interface so
+//!   workloads are shared;
 //! * [`DynSyncStrategy`] / [`BoxedStrategy`] — the object-safe facade,
 //!   so drivers can hold heterogeneous `Vec<Box<dyn DynSyncStrategy>>`
 //!   fleets and dispatch sections dynamically;
@@ -80,7 +82,11 @@ pub use config::{ElisionMode, SoleroConfig, SoleroConfigBuilder};
 pub use dynstrategy::{BoxedStrategy, DynSyncStrategy};
 pub use lock::{SoleroLock, SoleroWriteGuard, WriteTicket};
 pub use session::{Checkpoint, MostlySession, NullCheckpoint, ReadSession, WriteIntent};
-pub use strategy::{LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
+#[allow(deprecated)]
+pub use strategy::RwLockStrategy;
+pub use strategy::{BravoStrategy, LockStrategy, RwStrategy, SoleroStrategy, SyncStrategy};
+
+pub use solero_rwlock::{BravoLock, BravoPolicy, JavaRwLock, RawRwLock};
 
 pub use solero_runtime::fault::Fault;
 pub use solero_obs::RecentAborts;

@@ -17,7 +17,7 @@ use solero_obs::SectionKind;
 use solero_runtime::fault::Fault;
 use solero_runtime::stats::StatsSnapshot;
 use solero_runtime::thread::ThreadId;
-use solero_rwlock::JavaRwLock;
+use solero_rwlock::{BravoLock, JavaRwLock, RawRwLock};
 use solero_tasuki::TasukiLock;
 
 use crate::config::SoleroConfig;
@@ -148,28 +148,43 @@ impl SyncStrategy for LockStrategy {
     }
 }
 
-/// The `java.util.concurrent`-style read-write lock — the paper's
-/// `RWLock`.
+/// A reader-writer lock strategy, generic over the lock behind the
+/// [`RawRwLock`] interface — the paper's `RWLock` baseline when
+/// instantiated with [`JavaRwLock`], the BRAVO biased contender when
+/// instantiated with [`BravoLock`].
 #[derive(Debug, Default)]
-pub struct RwLockStrategy {
-    lock: JavaRwLock,
+pub struct RwStrategy<L: RawRwLock> {
+    lock: L,
 }
 
-impl RwLockStrategy {
-    /// Creates the strategy.
+/// The `java.util.concurrent`-style read-write lock strategy — the
+/// paper's `RWLock`.
+#[deprecated(
+    since = "0.7.0",
+    note = "spell the lock explicitly: `RwStrategy<JavaRwLock>` (this alias) \
+            or `BravoStrategy` for the BRAVO biased lock"
+)]
+pub type RwLockStrategy = RwStrategy<JavaRwLock>;
+
+/// The BRAVO biased reader-writer lock strategy (`BRAVO-RW` in the
+/// benchmark tables).
+pub type BravoStrategy = RwStrategy<BravoLock>;
+
+impl<L: RawRwLock> RwStrategy<L> {
+    /// Creates the strategy over a default-constructed lock.
     pub fn new() -> Self {
-        Self::default()
+        RwStrategy { lock: L::default() }
     }
 
     /// The underlying lock.
-    pub fn lock(&self) -> &JavaRwLock {
+    pub fn lock(&self) -> &L {
         &self.lock
     }
 }
 
-impl SyncStrategy for RwLockStrategy {
+impl<L: RawRwLock> SyncStrategy for RwStrategy<L> {
     fn name(&self) -> &'static str {
-        "RWLock"
+        L::NAME
     }
 
     fn write_section<R>(&self, f: impl FnOnce() -> R) -> R {
@@ -352,7 +367,8 @@ mod tests {
     #[test]
     fn all_strategies_run_the_same_workload() {
         exercise(&LockStrategy::new());
-        exercise(&RwLockStrategy::new());
+        exercise(&RwStrategy::<JavaRwLock>::new());
+        exercise(&BravoStrategy::new());
         exercise(&SoleroStrategy::new());
         exercise(&SoleroStrategy::configured(
             SoleroConfig::builder().unelided(true).build(),
@@ -370,7 +386,7 @@ mod tests {
         for run in 0..3 {
             let (lock, rw, so) = (
                 LockStrategy::new(),
-                RwLockStrategy::new(),
+                BravoStrategy::new(),
                 SoleroStrategy::new(),
             );
             fn mix<S: SyncStrategy>(s: &S) -> f64 {
@@ -394,7 +410,8 @@ mod tests {
     fn names_are_distinct() {
         let names = [
             LockStrategy::new().name(),
-            RwLockStrategy::new().name(),
+            RwStrategy::<JavaRwLock>::new().name(),
+            BravoStrategy::new().name(),
             SoleroStrategy::new().name(),
             SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build()).name(),
             SoleroStrategy::configured(SoleroConfig::builder().weak_barrier(true).build()).name(),

@@ -305,7 +305,7 @@ fn tasuki_write_sections_exclude() {
 /// pair before or after the writer's two stores — never between.
 #[test]
 fn rwlock_reader_never_torn() {
-    use solero_rwlock::JavaRwLock;
+    use solero_rwlock::{JavaRwLock, RawRwLock};
     use solero_sync::atomic::{AtomicU64, Ordering};
 
     let stats = Checker::exhaustive()

@@ -117,6 +117,14 @@ counters! {
     /// Times the adaptive policy re-armed elision (a forfeit window
     /// drained and speculation resumed).
     policy_rearms,
+    /// BRAVO: writers that found the lock read-biased and revoked the
+    /// bias (cleared `rbias`, then scanned the visible-readers table).
+    /// Zero for every non-BRAVO lock.
+    bias_revocations,
+    /// BRAVO: times a slow-path reader re-installed the read bias after
+    /// the uncontended-slow-path threshold was met. Zero for every
+    /// non-BRAVO lock.
+    bias_rebiases,
 }
 
 impl StatsSnapshot {

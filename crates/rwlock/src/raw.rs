@@ -1,0 +1,205 @@
+//! The common reader-writer lock interface (`RawRwLock`).
+//!
+//! PR 7's API redesign: the strategy layer, the benchmark fleet and the
+//! model-checker scenarios all want to drive *any* reader-writer lock —
+//! the `java.util.concurrent` baseline ([`JavaRwLock`]) and the BRAVO
+//! biased lock ([`BravoLock`]) — through one surface. [`RawRwLock`]
+//! is that surface: raw acquire/release primitives plus provided RAII
+//! methods ([`read`](RawRwLock::read), [`write`](RawRwLock::write),
+//! [`try_read`](RawRwLock::try_read), [`try_write`](RawRwLock::try_write))
+//! whose guards work for every implementor.
+//!
+//! Read acquisitions return a [`ReadToken`] that the matching release
+//! takes back. The baseline lock ignores it; BRAVO uses it to remember
+//! whether the read ran on the biased fast path and, if so, which
+//! visible-readers slot it published — per-acquisition state that a
+//! global lock cannot reconstruct at release time (a hash-colliding
+//! second thread may have published the same lock in the same slot).
+//!
+//! [`JavaRwLock`]: crate::JavaRwLock
+//! [`BravoLock`]: crate::BravoLock
+
+use solero_runtime::stats::LockStats;
+
+/// Opaque per-acquisition state returned by a shared acquire and handed
+/// back at release.
+///
+/// `0` means "slow path" (the underlying lock was really acquired);
+/// `slot + 1` means "fast path via visible-readers slot `slot`". The
+/// encoding is private; implementors construct tokens through
+/// [`ReadToken::slow`] and [`ReadToken::fast`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadToken(u64);
+
+impl ReadToken {
+    /// A token for a read that acquired the underlying lock.
+    #[inline]
+    pub const fn slow() -> Self {
+        ReadToken(0)
+    }
+
+    /// A token for a fast-path read published in table slot `slot`.
+    #[inline]
+    pub const fn fast(slot: usize) -> Self {
+        ReadToken(slot as u64 + 1)
+    }
+
+    /// True if this read ran on a biased fast path.
+    #[inline]
+    pub const fn is_fast(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The visible-readers slot of a fast-path read, if any.
+    #[inline]
+    pub const fn fast_slot(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 as usize - 1)
+        }
+    }
+}
+
+/// A reader-writer lock usable behind the redesigned strategy/fleet
+/// API.
+///
+/// Implementors provide the raw acquire/release primitives; the RAII
+/// surface ([`read`](RawRwLock::read) and friends) is provided once
+/// here. All locks are non-reentrant: nested reads of the same lock on
+/// one thread may deadlock against a queued writer.
+///
+/// # Examples
+///
+/// ```
+/// use solero_rwlock::{JavaRwLock, RawRwLock};
+///
+/// fn snapshot<L: RawRwLock>(lock: &L, cell: &std::sync::atomic::AtomicU64) -> u64 {
+///     let _g = lock.read();
+///     cell.load(std::sync::atomic::Ordering::Acquire)
+/// }
+///
+/// let lock = JavaRwLock::new();
+/// let cell = std::sync::atomic::AtomicU64::new(7);
+/// assert_eq!(snapshot(&lock, &cell), 7);
+/// assert_eq!(lock.stats().snapshot().read_enters, 1);
+/// ```
+pub trait RawRwLock: Default + Send + Sync {
+    /// Display name used by the strategy layer and benchmark tables.
+    const NAME: &'static str;
+
+    /// Acquires the lock in shared mode, blocking as needed.
+    fn acquire_read(&self) -> ReadToken;
+
+    /// Releases a shared acquisition. `token` must come from the
+    /// matching `acquire_read`/`try_acquire_read` on this lock.
+    fn release_read(&self, token: ReadToken);
+
+    /// Attempts a shared acquisition without blocking on contention.
+    fn try_acquire_read(&self) -> Option<ReadToken>;
+
+    /// Acquires the lock in exclusive mode, blocking as needed.
+    fn acquire_write(&self);
+
+    /// Releases an exclusive acquisition.
+    fn release_write(&self);
+
+    /// Attempts an exclusive acquisition without blocking on a held
+    /// lock. (BRAVO backs off — returning `false` — rather than waiting
+    /// out published fast-path readers, so the call never parks.)
+    fn try_acquire_write(&self) -> bool;
+
+    /// Per-lock statistics counters.
+    fn stats(&self) -> &LockStats;
+
+    /// Acquires in shared mode and returns an RAII guard.
+    fn read(&self) -> ReadGuard<'_, Self>
+    where
+        Self: Sized,
+    {
+        let token = self.acquire_read();
+        ReadGuard { lock: self, token }
+    }
+
+    /// Attempts a shared acquisition; `None` if the lock is contended.
+    fn try_read(&self) -> Option<ReadGuard<'_, Self>>
+    where
+        Self: Sized,
+    {
+        self.try_acquire_read()
+            .map(|token| ReadGuard { lock: self, token })
+    }
+
+    /// Acquires in exclusive mode and returns an RAII guard.
+    fn write(&self) -> WriteGuard<'_, Self>
+    where
+        Self: Sized,
+    {
+        self.acquire_write();
+        WriteGuard { lock: self }
+    }
+
+    /// Attempts an exclusive acquisition; `None` if the lock is held.
+    fn try_write(&self) -> Option<WriteGuard<'_, Self>>
+    where
+        Self: Sized,
+    {
+        if self.try_acquire_write() {
+            Some(WriteGuard { lock: self })
+        } else {
+            None
+        }
+    }
+}
+
+/// Shared-mode RAII guard returned by [`RawRwLock::read`].
+///
+/// Leaking the guard (`std::mem::forget`) leaves the shared hold —
+/// and, for BRAVO, the published visible-readers slot — in place
+/// forever, blocking future writers; like any lock guard, drop it.
+#[derive(Debug)]
+pub struct ReadGuard<'a, L: RawRwLock> {
+    lock: &'a L,
+    token: ReadToken,
+}
+
+impl<L: RawRwLock> ReadGuard<'_, L> {
+    /// The token of this acquisition (diagnostics: fast vs slow path).
+    pub fn token(&self) -> ReadToken {
+        self.token
+    }
+}
+
+impl<L: RawRwLock> Drop for ReadGuard<'_, L> {
+    fn drop(&mut self) {
+        self.lock.release_read(self.token);
+    }
+}
+
+/// Exclusive-mode RAII guard returned by [`RawRwLock::write`].
+#[derive(Debug)]
+pub struct WriteGuard<'a, L: RawRwLock> {
+    lock: &'a L,
+}
+
+impl<L: RawRwLock> Drop for WriteGuard<'_, L> {
+    fn drop(&mut self) {
+        self.lock.release_write();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_encoding_round_trips() {
+        assert!(!ReadToken::slow().is_fast());
+        assert_eq!(ReadToken::slow().fast_slot(), None);
+        for slot in [0usize, 1, 7, 1023] {
+            let t = ReadToken::fast(slot);
+            assert!(t.is_fast());
+            assert_eq!(t.fast_slot(), Some(slot));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for BRAVO's visible-readers table and bias lifecycle.
+//!
+//! The first two properties run against **owned** [`VisibleReaders`]
+//! instances, so they are pure functions of the testkit seed; the third
+//! drives a private [`BravoLock`] through the global table from a single
+//! thread, which keeps slot choice deterministic (one thread key, one
+//! live lock at a time).
+
+use std::collections::HashMap;
+
+use solero_rwlock::visible::{VisibleReaders, SLOTS};
+use solero_rwlock::{BravoLock, BravoPolicy, RawRwLock};
+use solero_testkit::forall;
+
+/// The slot hash must be deterministic, in range, and actually spread:
+/// many threads on one lock and one thread over many locks both have to
+/// land on mostly-distinct cache lines, or BRAVO degenerates into the
+/// shared-counter design it exists to replace.
+#[test]
+fn slot_hash_spreads_threads_and_locks() {
+    forall(64, 0x5EED_B401, |g| {
+        let table = VisibleReaders::new();
+        let lock_addr = 0x1000 + g.rng().gen_range(0..1024usize) * 64;
+
+        // Many threads, one lock.
+        let keys = g.vec(16, 65, |rng| rng.gen_range(1..u64::MAX));
+        let mut thread_slots: Vec<usize> = keys
+            .iter()
+            .map(|&k| {
+                let s = table.slot_for(k, lock_addr);
+                assert!(s < SLOTS, "slot {s} out of range");
+                assert_eq!(s, table.slot_for(k, lock_addr), "hash must be pure");
+                s
+            })
+            .collect();
+        let n = thread_slots.len();
+        thread_slots.sort_unstable();
+        thread_slots.dedup();
+        assert!(
+            thread_slots.len() >= n * 3 / 4,
+            "{n} thread keys fell into only {} of {SLOTS} slots",
+            thread_slots.len()
+        );
+
+        // One thread, many locks (addresses are 64-byte aligned like
+        // real allocations — alignment must not defeat the mixer).
+        let key = g.rng().gen_range(1..u64::MAX);
+        let addrs = g.vec(16, 65, |rng| 0x1000 + rng.gen_range(0..1usize << 20) * 64);
+        let mut lock_slots: Vec<usize> = addrs.iter().map(|&a| table.slot_for(key, a)).collect();
+        let m = lock_slots.len();
+        lock_slots.sort_unstable();
+        lock_slots.dedup();
+        assert!(
+            lock_slots.len() >= m * 3 / 4,
+            "{m} lock addresses fell into only {} of {SLOTS} slots",
+            lock_slots.len()
+        );
+    });
+}
+
+/// Random publish/unpublish traffic against a model map: `try_publish`
+/// succeeds exactly when the slot is free, `unpublish` frees exactly the
+/// published slot, and the table's census (`occupied`,
+/// `published_count`) tracks the model at every step.
+#[test]
+fn publish_round_trips_match_a_model() {
+    forall(64, 0x5EED_B402, |g| {
+        let table = VisibleReaders::new();
+        // slot -> (addr, thread_key) currently published there.
+        let mut model: HashMap<usize, (usize, u64)> = HashMap::new();
+        // A small pool so cases revisit addresses (and collide).
+        let pool = g.vec(1, 9, |rng| 0x1000 + rng.gen_range(0..4096usize) * 64);
+
+        let steps = g.size(1, 200);
+        for _ in 0..steps {
+            let unpublish_one = !model.is_empty() && g.rng().gen_bool(0.4);
+            if unpublish_one {
+                let held: Vec<usize> = model.keys().copied().collect();
+                let slot = held[g.rng().gen_range(0..held.len())];
+                let (addr, _) = model.remove(&slot).unwrap();
+                table.unpublish(slot, addr);
+                assert_eq!(table.load(slot), 0, "unpublish must empty the slot");
+            } else {
+                let addr = pool[g.rng().gen_range(0..pool.len())];
+                let key = g.rng().gen_range(1..u64::MAX);
+                let slot = table.slot_for(key, addr);
+                let free = !model.contains_key(&slot);
+                assert_eq!(
+                    table.try_publish(slot, addr),
+                    free,
+                    "publish must succeed exactly on a free slot"
+                );
+                if free {
+                    model.insert(slot, (addr, key));
+                    assert_eq!(table.load(slot), addr);
+                }
+            }
+            assert_eq!(table.occupied(), model.len(), "census diverged from model");
+            let probe = pool[0];
+            assert_eq!(
+                table.published_count(probe),
+                model.values().filter(|(a, _)| *a == probe).count(),
+                "per-lock census diverged from model"
+            );
+        }
+
+        for (slot, (addr, _)) in model.drain() {
+            table.unpublish(slot, addr);
+        }
+        assert_eq!(table.occupied(), 0, "drained table must be empty");
+    });
+}
+
+/// The bias state machine, under a random policy: after a writer
+/// revokes, **no** read takes the fast path until the slow-read streak
+/// reaches the (penalty-escalated) threshold; the read that crosses the
+/// threshold re-earns the bias and the next read elides again.
+#[test]
+fn revoked_bias_never_admits_a_fast_reader_early() {
+    forall(32, 0x5EED_B403, |g| {
+        let policy = BravoPolicy {
+            rebias_after: g.rng().gen_range(1..16),
+            max_penalty: g.rng().gen_range(1..6),
+        };
+        let lock = BravoLock::with_policy(policy);
+
+        // Fresh lock is biased: first read elides.
+        {
+            let r = lock.read();
+            assert!(r.token().is_fast(), "biased lock must admit the fast path");
+        }
+        assert_eq!(lock.stats().snapshot().elision_success, 1);
+
+        // One write revokes the bias and escalates the penalty to 1, so
+        // the streak needed to re-bias is rebias_after << 1.
+        drop(lock.write());
+        assert!(!lock.is_biased(), "writer must revoke the bias");
+        let threshold = policy.rebias_after << 1u32.min(policy.max_penalty);
+
+        for j in 0..threshold {
+            let r = lock.read();
+            assert!(
+                !r.token().is_fast(),
+                "read {j} elided while the bias was revoked (threshold {threshold})"
+            );
+            drop(r);
+            let expect_biased = j + 1 >= threshold;
+            assert_eq!(
+                lock.is_biased(),
+                expect_biased,
+                "bias flipped at streak {} of {threshold}",
+                j + 1
+            );
+        }
+
+        let snap = lock.stats().snapshot();
+        assert_eq!(snap.elision_success, 1, "no elision while revoked");
+        assert_eq!(snap.bias_revocations, 1);
+        assert_eq!(snap.bias_rebiases, 1, "crossing the threshold re-biases");
+
+        // Bias re-earned: the fast path is open again.
+        let r = lock.read();
+        assert!(r.token().is_fast(), "re-biased lock must elide again");
+        drop(r);
+        assert_eq!(lock.published_readers(), 0, "teardown must drain the table");
+        let snap = lock.stats().snapshot();
+        assert_eq!(
+            snap.read_enters,
+            snap.elision_success + snap.read_slow_enters,
+            "every read is exactly fast or slow: {snap:?}"
+        );
+    });
+}

@@ -1,0 +1,94 @@
+//! Regression tests for the `READ_HOLDS` thread-local in `JavaRwLock`.
+//!
+//! The reentrancy bookkeeping maps lock addresses to per-thread hold
+//! counts. An earlier revision left zero-count entries in the map
+//! forever, so a long-lived thread touching short-lived locks grew its
+//! thread-local without bound — and, worse, a *recycled* allocation
+//! address inherited the dead lock's stale entry. The map must drop an
+//! entry the moment its count returns to zero; these tests pin that.
+//!
+//! Each test runs on its own spawned thread so the thread-local starts
+//! empty and other tests' holds can't perturb the census.
+
+use solero_rwlock::{thread_read_hold_entries, JavaRwLock, RawRwLock};
+
+fn on_fresh_thread(f: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(f).join().expect("test thread panicked");
+}
+
+#[test]
+fn entry_is_dropped_when_the_last_hold_releases() {
+    on_fresh_thread(|| {
+        assert_eq!(thread_read_hold_entries(), 0, "fresh thread starts clean");
+        let lock = JavaRwLock::new();
+        {
+            let _g = lock.read();
+            assert_eq!(thread_read_hold_entries(), 1, "held lock is tracked");
+            assert_eq!(lock.current_thread_read_holds(), 1);
+        }
+        assert_eq!(
+            thread_read_hold_entries(),
+            0,
+            "releasing the last hold must remove the entry, not zero it"
+        );
+        assert_eq!(lock.current_thread_read_holds(), 0);
+    });
+}
+
+#[test]
+fn nested_holds_share_one_entry_and_drain_together() {
+    on_fresh_thread(|| {
+        let lock = JavaRwLock::new();
+        let outer = lock.read();
+        let inner = lock.read();
+        assert_eq!(lock.current_thread_read_holds(), 2);
+        assert_eq!(thread_read_hold_entries(), 1, "reentrant holds share an entry");
+        drop(inner);
+        assert_eq!(lock.current_thread_read_holds(), 1);
+        assert_eq!(thread_read_hold_entries(), 1);
+        drop(outer);
+        assert_eq!(lock.current_thread_read_holds(), 0);
+        assert_eq!(thread_read_hold_entries(), 0);
+    });
+}
+
+#[test]
+fn short_lived_locks_do_not_grow_the_thread_local() {
+    on_fresh_thread(|| {
+        // Boxed locks come and go; the allocator is free to hand the
+        // same address out repeatedly. Before the fix this loop left one
+        // stale entry per *distinct* address behind — and any reused
+        // address would have started with a phantom hold count.
+        for i in 0..512 {
+            let lock = Box::new(JavaRwLock::new());
+            {
+                let _g = lock.read();
+                assert_eq!(thread_read_hold_entries(), 1);
+            }
+            assert_eq!(
+                thread_read_hold_entries(),
+                0,
+                "iteration {i}: dead lock left a stale READ_HOLDS entry"
+            );
+        }
+    });
+}
+
+#[test]
+fn interleaved_locks_are_tracked_independently() {
+    on_fresh_thread(|| {
+        let a = JavaRwLock::new();
+        let b = JavaRwLock::new();
+        let ga = a.read();
+        let gb = b.read();
+        assert_eq!(thread_read_hold_entries(), 2);
+        assert_eq!(a.current_thread_read_holds(), 1);
+        assert_eq!(b.current_thread_read_holds(), 1);
+        drop(ga);
+        assert_eq!(thread_read_hold_entries(), 1, "a's entry drains, b's stays");
+        assert_eq!(a.current_thread_read_holds(), 0);
+        assert_eq!(b.current_thread_read_holds(), 1);
+        drop(gb);
+        assert_eq!(thread_read_hold_entries(), 0);
+    });
+}

@@ -1037,6 +1037,19 @@ fn vthread_main<T, F>(
 /// [`McAbort`] teardown panics — they are control flow, and the default
 /// hook would print one backtrace banner per torn-down thread per
 /// truncated or failing execution. Real panics still go through the
+/// The calling thread's stable virtual-thread index within the current
+/// execution (root = 0, then spawn order), or `None` outside one.
+///
+/// Protocol code that hashes on thread identity (e.g. the BRAVO
+/// visible-readers table) must key on this under the model checker
+/// instead of a process-global thread id: OS-level ids grow
+/// monotonically across the thousands of executions one search runs,
+/// so hashing them would make slot choices — and therefore the explored
+/// branch structure — differ between a discovery run and its replay.
+pub fn vthread_slot() -> Option<usize> {
+    cur_ctx().map(|ctx| ctx.me)
+}
+
 /// previously installed hook.
 fn quiet_teardown_panics() {
     static HOOK: std::sync::Once = std::sync::Once::new();

@@ -47,7 +47,7 @@ impl<S: SyncStrategy> EmptyBench<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use solero::{LockStrategy, RwLockStrategy, SoleroConfig, SoleroStrategy};
+    use solero::{BravoStrategy, JavaRwLock, LockStrategy, RwStrategy, SoleroConfig, SoleroStrategy};
 
     #[test]
     fn empty_op_counts_one_read_section() {
@@ -64,7 +64,8 @@ mod tests {
     #[test]
     fn all_strategies_execute_the_empty_block() {
         EmptyBench::new(LockStrategy::new()).op();
-        EmptyBench::new(RwLockStrategy::new()).op();
+        EmptyBench::new(RwStrategy::<JavaRwLock>::new()).op();
+        EmptyBench::new(BravoStrategy::new()).op();
         EmptyBench::new(SoleroStrategy::configured(
             SoleroConfig::builder().unelided(true).build(),
         ))

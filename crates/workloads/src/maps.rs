@@ -224,7 +224,7 @@ impl MapBench {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use solero::{LockStrategy, RwLockStrategy, SoleroStrategy};
+    use solero::{BravoStrategy, JavaRwLock, LockStrategy, RwStrategy, SoleroStrategy};
 
     fn smoke<S: SyncStrategy + 'static>(make: impl Fn() -> S, kind: MapKind, write_pct: u32) {
         let b = MapBench::new(
@@ -254,14 +254,16 @@ mod tests {
     #[test]
     fn hash_smoke_all_strategies() {
         smoke(LockStrategy::new, MapKind::Hash, 0);
-        smoke(RwLockStrategy::new, MapKind::Hash, 5);
+        smoke(RwStrategy::<JavaRwLock>::new, MapKind::Hash, 5);
+        smoke(BravoStrategy::new, MapKind::Hash, 5);
         smoke(SoleroStrategy::new, MapKind::Hash, 5);
     }
 
     #[test]
     fn tree_smoke_all_strategies() {
         smoke(LockStrategy::new, MapKind::Tree, 5);
-        smoke(RwLockStrategy::new, MapKind::Tree, 0);
+        smoke(RwStrategy::<JavaRwLock>::new, MapKind::Tree, 0);
+        smoke(BravoStrategy::new, MapKind::Tree, 0);
         smoke(SoleroStrategy::new, MapKind::Tree, 5);
     }
 

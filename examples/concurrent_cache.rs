@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use solero::{Checkpoint, LockStrategy, RwLockStrategy, SoleroStrategy, SyncStrategy};
+use solero::{BravoStrategy, Checkpoint, JavaRwLock, LockStrategy, RwStrategy, SoleroStrategy, SyncStrategy};
 use solero_collections::JHashMap;
 use solero_heap::Heap;
 
@@ -78,14 +78,17 @@ fn run_cache<S: SyncStrategy>(strat: S) -> (f64, String) {
 fn main() {
     println!("session cache: {READERS} readers + 1 refresher, {SESSIONS} sessions\n");
     let (lock_rate, lock_stats) = run_cache(LockStrategy::new());
-    let (rw_rate, rw_stats) = run_cache(RwLockStrategy::new());
+    let (rw_rate, rw_stats) = run_cache(RwStrategy::<JavaRwLock>::new());
+    let (bravo_rate, bravo_stats) = run_cache(BravoStrategy::new());
     let (so_rate, so_stats) = run_cache(SoleroStrategy::new());
-    println!("Lock   : {lock_rate:.2} M lookups/s\n         {lock_stats}");
-    println!("RWLock : {rw_rate:.2} M lookups/s\n         {rw_stats}");
-    println!("SOLERO : {so_rate:.2} M lookups/s\n         {so_stats}");
+    println!("Lock    : {lock_rate:.2} M lookups/s\n          {lock_stats}");
+    println!("RWLock  : {rw_rate:.2} M lookups/s\n          {rw_stats}");
+    println!("BRAVO-RW: {bravo_rate:.2} M lookups/s\n          {bravo_stats}");
+    println!("SOLERO  : {so_rate:.2} M lookups/s\n          {so_stats}");
     println!(
-        "\nSOLERO vs Lock: {:.2}x, vs RWLock: {:.2}x",
+        "\nSOLERO vs Lock: {:.2}x, vs RWLock: {:.2}x; BRAVO-RW vs RWLock: {:.2}x",
         so_rate / lock_rate,
-        so_rate / rw_rate
+        so_rate / rw_rate,
+        bravo_rate / rw_rate
     );
 }

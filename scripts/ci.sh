@@ -95,6 +95,20 @@ SOLERO_MC_BUDGET=20000 RUST_BACKTRACE=0 \
     -- --nocapture --test-threads=1 \
     | grep -E "mc\[|killed|test result"
 
+# Budgeted BRAVO revocation pass: the publish/revoke handshake drained
+# three ways (exhaustive DFS, TSO store buffers, DPOR re-bias cycle)
+# with SOLERO_MC_BUDGET bounding each search. The uncapped completeness
+# run already happened in the main mc step above; this pins the budget
+# knob and the replay path for the newest protocol the same way the
+# collections and weak-memory steps do.
+echo "== tier-1: mc bravo bias revocation (budgeted) =="
+SOLERO_MC_SEED=0x5EEDB7A0 SOLERO_MC_BUDGET=20000 RUST_BACKTRACE=0 \
+    RUSTFLAGS="--cfg solero_mc" CARGO_TARGET_DIR=target/mc \
+    cargo test -q --offline -p solero-mc \
+    --test bravo_mc \
+    -- --nocapture --test-threads=1 \
+    | grep -E "mc\[|test result"
+
 # Replay the concurrency stress and property suites under a pinned seed
 # matrix: different roots exercise different schedules/cases, and every
 # one of them is reproducible by exporting the printed seed.
@@ -105,12 +119,14 @@ for seed in "${PINNED_SEEDS[@]}"; do
         --test read_elision_stress \
         --test collections_contention_stress \
         --test fallback_starvation \
-        --test adaptive_policy_stress
+        --test adaptive_policy_stress \
+        --test bravo_reader_scaling
     SOLERO_TESTKIT_SEED="${seed}" cargo test -q --offline \
         -p solero \
         -p solero-runtime \
         -p solero-collections \
         -p solero-jit \
+        -p solero-rwlock \
         --test lock_state_props \
         --test word_props \
         --test model_based \
@@ -125,5 +141,13 @@ echo "== tier-1: adaptive trajectory smoke (quick) =="
 cargo run -q --offline -p solero-bench --bin bench_adaptive -- \
     --quick --out results/BENCH_adaptive_quick.json 2> /dev/null
 test -s results/BENCH_adaptive_quick.json
+
+# Same deal for the BRAVO reader-throughput sweep (full-size run is
+# checked in as BENCH_bravo.json): the quick run proves the bin still
+# sweeps all four thread counts and emits a well-formed document.
+echo "== tier-1: bravo reader sweep smoke (quick) =="
+cargo run -q --offline -p solero-bench --bin bench_bravo -- \
+    --quick --out results/BENCH_bravo_quick.json 2> /dev/null
+test -s results/BENCH_bravo_quick.json
 
 echo "== tier-1 green =="

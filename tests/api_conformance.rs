@@ -6,7 +6,7 @@ use solero_heap::{Heap, ObjRef};
 use solero_jit::interp::Interpreter;
 use solero_runtime::stats::StatsSnapshot;
 use solero_runtime::word::{ConvWord, SoleroWord};
-use solero_rwlock::JavaRwLock;
+use solero_rwlock::{BravoLock, BravoPolicy, JavaRwLock, RawRwLock, ReadToken};
 use solero_tasuki::TasukiLock;
 
 fn assert_send<T: Send>() {}
@@ -18,13 +18,51 @@ fn shared_types_are_send_and_sync() {
     assert_send_sync::<SoleroLock>();
     assert_send_sync::<TasukiLock>();
     assert_send_sync::<JavaRwLock>();
+    assert_send_sync::<BravoLock>();
     assert_send_sync::<Heap>();
     assert_send_sync::<Interpreter>();
     assert_send_sync::<solero::LockStrategy>();
-    assert_send_sync::<solero::RwLockStrategy>();
+    assert_send_sync::<solero::RwStrategy<JavaRwLock>>();
+    assert_send_sync::<solero::BravoStrategy>();
     assert_send_sync::<solero::SoleroStrategy>();
     assert_send::<Fault>();
     assert_sync::<Fault>();
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_rwlock_strategy_alias_still_resolves() {
+    // The PR 7 API redesign keeps the old concrete strategy name alive
+    // for one release as a deprecated alias of `RwStrategy<JavaRwLock>`.
+    fn takes_new_type(_: &solero::RwStrategy<JavaRwLock>) {}
+    let old = solero::RwLockStrategy::new();
+    takes_new_type(&old);
+    assert_send_sync::<solero::RwLockStrategy>();
+}
+
+#[test]
+fn raw_rwlock_trait_is_object_free_and_generic() {
+    // Generic code over the trait works for both implementations, and
+    // guards release on drop.
+    fn exercise<L: RawRwLock>() {
+        let lock = L::default();
+        {
+            let r = lock.read();
+            let _ = r.token();
+        }
+        {
+            let _w = lock.write();
+        }
+        assert!(lock.try_write().is_some());
+        assert!(lock.try_read().is_some());
+        let snap = lock.stats().snapshot();
+        assert_eq!(snap.read_enters, 2);
+        assert_eq!(snap.write_enters, 2);
+    }
+    exercise::<JavaRwLock>();
+    exercise::<BravoLock>();
+    assert_eq!(<JavaRwLock as RawRwLock>::NAME, "RWLock");
+    assert_eq!(<BravoLock as RawRwLock>::NAME, "BRAVO-RW");
 }
 
 #[test]
@@ -53,6 +91,8 @@ fn defaults_exist_and_match_new() {
     let _ = SoleroLock::default();
     let _ = TasukiLock::default();
     let _ = JavaRwLock::default();
+    let _ = BravoLock::default();
+    assert_eq!(BravoPolicy::default(), BravoLock::new().policy());
     let _ = StatsSnapshot::default();
     let _ = ObjRef::default();
     assert!(ObjRef::default().is_null());
@@ -65,6 +105,10 @@ fn debug_representations_are_never_empty() {
         format!("{:?}", SoleroLock::new()),
         format!("{:?}", TasukiLock::new()),
         format!("{:?}", JavaRwLock::new()),
+        format!("{:?}", BravoLock::new()),
+        format!("{:?}", BravoPolicy::minimal()),
+        format!("{:?}", ReadToken::slow()),
+        format!("{:?}", solero_rwlock::visible::global()),
         format!("{:?}", StatsSnapshot::default()),
         format!("{:?}", ConvWord::FREE),
         format!("{:?}", SoleroWord::INIT),

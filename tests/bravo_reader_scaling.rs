@@ -1,0 +1,103 @@
+//! High-thread-count stress over [`BravoLock`]: seven readers hammer
+//! the fast path while one writer periodically revokes the bias, so the
+//! whole lifecycle — elide, publish, revoke, slow-path streak, re-bias —
+//! cycles continuously under real preemption.
+//!
+//! Two things are pinned:
+//!
+//! * **exclusion** — the writer updates a pair of words inside
+//!   `write()`; every reader snapshot under `read()` must be untorn,
+//!   whichever path (fast or slow) admitted it;
+//! * **the taxonomy balances at teardown** — every read is exactly fast
+//!   or slow, re-biases never outnumber revocations, no visible-readers
+//!   slot is left published, and the fast path carried at least half
+//!   the reads (on this workload the bias is revoked only a handful of
+//!   times per round, so a healthy lock elides the vast majority).
+//!
+//! Driven by [`solero_testkit::stress`] over a fixed root-seed matrix;
+//! `SOLERO_TESTKIT_SEED` replays any run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use solero_rwlock::{BravoLock, RawRwLock};
+use solero_testkit::{seed_matrix, seed_override, stress, StressConfig};
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 5;
+/// Reads per reader per round.
+const OPS: usize = 2_000;
+/// Bias revocations the writer forces per round.
+const WRITES_PER_ROUND: usize = 2;
+
+#[test]
+fn bravo_fast_path_carries_a_contended_read_storm() {
+    for (i, seed) in seed_matrix(seed_override(0x5EED_B7A0), 3).into_iter().enumerate() {
+        let lock = BravoLock::new();
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+
+        stress(
+            &format!("bravo-scale-m{i}"),
+            &StressConfig::new(THREADS, ROUNDS, seed),
+            |w| {
+                if w.id == 0 {
+                    // The writer: a couple of revocations per round,
+                    // spaced so readers re-earn the bias in between.
+                    for _ in 0..WRITES_PER_ROUND {
+                        let g = lock.write();
+                        let v = a.load(Ordering::Relaxed) + 1;
+                        a.store(v, Ordering::Relaxed);
+                        b.store(v, Ordering::Relaxed);
+                        drop(g);
+                        for _ in 0..w.rng.gen_range(200..400) {
+                            std::hint::spin_loop();
+                        }
+                    }
+                } else {
+                    for _ in 0..OPS {
+                        let g = lock.read();
+                        let (ra, rb) = (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+                        drop(g);
+                        assert_eq!(ra, rb, "reader saw a torn write pair");
+                    }
+                }
+            },
+        );
+
+        let expected_reads = ((THREADS - 1) * ROUNDS * OPS) as u64;
+        let expected_writes = (ROUNDS * WRITES_PER_ROUND) as u64;
+        let snap = lock.stats().snapshot();
+        assert_eq!(snap.read_enters, expected_reads, "seed {seed:#x}: {snap}");
+        assert_eq!(snap.write_enters, expected_writes, "seed {seed:#x}: {snap}");
+        assert_eq!(
+            snap.read_enters,
+            snap.elision_success + snap.read_slow_enters,
+            "seed {seed:#x}: every read is exactly fast or slow: {snap}"
+        );
+        assert!(
+            snap.bias_revocations <= expected_writes,
+            "seed {seed:#x}: more revocations than writes: {snap}"
+        );
+        assert!(
+            snap.bias_rebiases <= snap.bias_revocations,
+            "seed {seed:#x}: bias re-earned more often than lost: {snap}"
+        );
+        let fast_rate = snap.elision_success as f64 / snap.read_enters as f64;
+        assert!(
+            fast_rate >= 0.5,
+            "seed {seed:#x}: fast path carried only {:.1}% of {} reads: {snap}",
+            fast_rate * 100.0,
+            snap.read_enters
+        );
+        assert_eq!(
+            lock.published_readers(),
+            0,
+            "seed {seed:#x}: visible-readers slot leaked"
+        );
+        assert_eq!(
+            a.load(Ordering::Relaxed),
+            expected_writes,
+            "seed {seed:#x}: writer updates lost"
+        );
+    }
+}

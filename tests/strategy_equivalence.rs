@@ -4,7 +4,8 @@
 
 use solero_testkit::rng::TestRng;
 use solero::{
-    Checkpoint, LockStrategy, NullCheckpoint, RwLockStrategy, SoleroConfig, SoleroStrategy,
+    BravoStrategy, Checkpoint, JavaRwLock, LockStrategy, NullCheckpoint, RwStrategy,
+    SoleroConfig, SoleroStrategy,
     SyncStrategy,
 };
 use solero_collections::{JHashMap, JTreeMap};
@@ -53,7 +54,8 @@ fn drive<S: SyncStrategy>(strat: &S, seed: u64) -> (Vec<(i64, i64)>, Vec<Option<
 fn same_sequence_same_state_across_strategies() {
     for seed in [1u64, 42, 0xdead] {
         let a = drive(&LockStrategy::new(), seed);
-        let b = drive(&RwLockStrategy::new(), seed);
+        let b = drive(&RwStrategy::<JavaRwLock>::new(), seed);
+        let bravo = drive(&BravoStrategy::new(), seed);
         let c = drive(&SoleroStrategy::new(), seed);
         let d = drive(
             &SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build()),
@@ -64,6 +66,7 @@ fn same_sequence_same_state_across_strategies() {
             seed,
         );
         assert_eq!(a, b, "Lock vs RWLock diverged (seed {seed})");
+        assert_eq!(a, bravo, "Lock vs BRAVO-RW diverged (seed {seed})");
         assert_eq!(a, c, "Lock vs SOLERO diverged (seed {seed})");
         assert_eq!(a, d, "Lock vs Unelided-SOLERO diverged (seed {seed})");
         assert_eq!(a, e, "Lock vs Adaptive-SOLERO diverged (seed {seed})");
@@ -89,7 +92,7 @@ fn table1_read_ratio_identical_across_strategies() {
         s.snapshot().read_only_ratio()
     }
     let a = ratio(&LockStrategy::new());
-    let b = ratio(&RwLockStrategy::new());
+    let b = ratio(&BravoStrategy::new());
     let c = ratio(&SoleroStrategy::new());
     assert!((a - 0.95).abs() < 1e-9);
     assert_eq!(a, b);
