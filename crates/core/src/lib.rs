@@ -82,8 +82,6 @@ pub use config::{ElisionMode, SoleroConfig, SoleroConfigBuilder};
 pub use dynstrategy::{BoxedStrategy, DynSyncStrategy};
 pub use lock::{SoleroLock, SoleroWriteGuard, WriteTicket};
 pub use session::{Checkpoint, MostlySession, NullCheckpoint, ReadSession, WriteIntent};
-#[allow(deprecated)]
-pub use strategy::RwLockStrategy;
 pub use strategy::{BravoStrategy, LockStrategy, RwStrategy, SoleroStrategy, SyncStrategy};
 
 pub use solero_rwlock::{BravoLock, BravoPolicy, JavaRwLock, RawRwLock};

@@ -17,7 +17,7 @@ use solero_obs::SectionKind;
 use solero_runtime::fault::Fault;
 use solero_runtime::stats::StatsSnapshot;
 use solero_runtime::thread::ThreadId;
-use solero_rwlock::{BravoLock, JavaRwLock, RawRwLock};
+use solero_rwlock::{BravoLock, RawRwLock};
 use solero_tasuki::TasukiLock;
 
 use crate::config::SoleroConfig;
@@ -150,21 +150,13 @@ impl SyncStrategy for LockStrategy {
 
 /// A reader-writer lock strategy, generic over the lock behind the
 /// [`RawRwLock`] interface — the paper's `RWLock` baseline when
-/// instantiated with [`JavaRwLock`], the BRAVO biased contender when
+/// instantiated with [`JavaRwLock`](solero_rwlock::JavaRwLock), the
+/// BRAVO biased contender when
 /// instantiated with [`BravoLock`].
 #[derive(Debug, Default)]
 pub struct RwStrategy<L: RawRwLock> {
     lock: L,
 }
-
-/// The `java.util.concurrent`-style read-write lock strategy — the
-/// paper's `RWLock`.
-#[deprecated(
-    since = "0.7.0",
-    note = "spell the lock explicitly: `RwStrategy<JavaRwLock>` (this alias) \
-            or `BravoStrategy` for the BRAVO biased lock"
-)]
-pub type RwLockStrategy = RwStrategy<JavaRwLock>;
 
 /// The BRAVO biased reader-writer lock strategy (`BRAVO-RW` in the
 /// benchmark tables).
@@ -338,6 +330,7 @@ impl SyncStrategy for SoleroStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use solero_rwlock::JavaRwLock;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn exercise<S: SyncStrategy>(s: &S) {

@@ -1,0 +1,69 @@
+//! `solero-store` — a sharded in-memory **MVCC snapshot store** over the
+//! [`solero_heap`] shadow heap, read through **elided read-only critical
+//! sections**.
+//!
+//! Every workload elsewhere in the workspace is one of the paper's
+//! microbenches; this crate is the service-shaped one: a versioned
+//! key-value store whose read path looks like production traffic
+//! (point-gets, bounded range-scans, whole-store checkpoints) and whose
+//! synchronization is exactly the strategy fleet under evaluation.
+//!
+//! # Architecture (DESIGN.md §12)
+//!
+//! The key space `[0, keys)` is **range-sharded**. Each shard owns
+//!
+//! * a [`solero::DynSyncStrategy`] lock (any fleet contender, boxed),
+//! * a seqlock-style **epoch counter** (odd = install in progress;
+//!   the shard *version* is `epoch >> 1`),
+//! * a directory object whose slots point at fixed-width **bucket**
+//!   objects holding `[presence bitmap, v0, v1, …]`.
+//!
+//! Writers never mutate a live bucket. A write batch builds new bucket
+//! copies off to the side (**copy-on-write**), then runs the install
+//! handshake under the shard's write lock: bump the epoch to odd,
+//! swing the directory slots, bump the epoch to even, free the old
+//! buckets. Readers run as elided read-only sections that capture the
+//! epoch at entry, read values, and validate **both** the lock word
+//! (the paper's machinery) and epoch stability at exit. Instability
+//! surfaces as [`Fault::Inconsistent`], which the elision driver
+//! classifies as an `async_revalidation_fail` abort and retries — the
+//! store adds no recovery machinery of its own, it rides the existing
+//! taxonomy.
+//!
+//! A validated snapshot is therefore **single-epoch by construction**:
+//! the background checkpointer calls [`KvStore::checkpoint`] and gets a
+//! cut in which every shard's pairs belong to exactly the version the
+//! snapshot is tagged with — never a mix of two installs. The model
+//! checker drains this claim under DFS, DPOR and TSO store buffers
+//! (`crates/mc/tests/store_mc.rs`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use solero::SoleroStrategy;
+//! use solero_store::{KvStore, StoreConfig};
+//!
+//! let store = KvStore::new(StoreConfig::new(1024), SoleroStrategy::new);
+//! store.put(7, 70).unwrap();
+//! assert_eq!(store.get(7).unwrap(), Some(70));
+//!
+//! // Bounded range-scan: one elided section (and one validation) per
+//! // shard segment, not one per key.
+//! assert_eq!(store.scan(0, 16).unwrap(), vec![(7, 70)]);
+//!
+//! // Whole-store checkpoint: every shard snapshot is epoch-tagged and
+//! // internally single-epoch.
+//! let cut = store.checkpoint().unwrap();
+//! assert_eq!(cut.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod shard;
+mod store;
+
+pub use store::{KvStore, ShardSnapshot, StoreCheckpoint, StoreConfig};
+
+pub use solero_heap::{Heap, ObjRef};
+pub use solero_runtime::fault::Fault;

@@ -1,0 +1,251 @@
+//! One shard: a strategy lock, an epoch counter, and a COW bucket
+//! directory. All cross-thread visibility flows through the
+//! `solero-sync` facade so the model checker sees every step of the
+//! install handshake.
+
+use std::collections::BTreeMap;
+
+use solero::{BoxedStrategy, Fault};
+use solero_heap::{ClassId, Heap, ObjRef};
+use solero_sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Directory object: one `ObjRef` slot per bucket.
+pub(crate) const DIR_CLASS: ClassId = ClassId::new(17);
+/// Bucket object: slot 0 = presence bitmap, slots `1..=width` = values.
+pub(crate) const BUCKET_CLASS: ClassId = ClassId::new(18);
+
+/// A write operation already routed to this shard: `Some` = put,
+/// `None` = remove.
+pub(crate) type ShardOp = (i64, Option<i64>);
+
+pub(crate) struct Shard {
+    pub(crate) strat: BoxedStrategy,
+    /// Seqlock epoch: odd while a writer is swinging directory slots,
+    /// even otherwise. Version = `epoch >> 1`.
+    epoch: AtomicU64,
+    dir: ObjRef,
+    pub(crate) base: i64,
+    pub(crate) keys: i64,
+    width: u32,
+}
+
+impl Shard {
+    /// Allocates the directory and one empty bucket per slot.
+    pub(crate) fn new(
+        heap: &Heap,
+        strat: BoxedStrategy,
+        base: i64,
+        keys: i64,
+        width: u32,
+    ) -> Self {
+        let buckets = ((keys + width as i64 - 1) / width as i64) as u32;
+        let dir = heap
+            .alloc(DIR_CLASS, buckets)
+            .expect("store heap sized for its own directory");
+        for b in 0..buckets {
+            let bucket = heap
+                .alloc(BUCKET_CLASS, 1 + width)
+                .expect("store heap sized for its own buckets");
+            // Setup-time plain stores: nothing is shared yet.
+            heap.store_plain(bucket, 0, 0).expect("fresh bucket");
+            heap.store_ref(dir, b, bucket).expect("fresh directory");
+        }
+        Shard {
+            strat,
+            epoch: AtomicU64::new(0),
+            dir,
+            base,
+            keys,
+            width,
+        }
+    }
+
+    /// Stable version: completed installs only.
+    pub(crate) fn version(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst) >> 1
+    }
+
+    fn slot_of(&self, key: i64) -> (u32, u32) {
+        debug_assert!(key >= self.base && key < self.base + self.keys);
+        let off = (key - self.base) as u64;
+        ((off / self.width as u64) as u32, (off % self.width as u64) as u32)
+    }
+
+    /// Epoch capture at section entry. An odd value means an install is
+    /// mid-flight; returning [`Fault::Inconsistent`] hands the attempt
+    /// to the elision driver, which classifies it as an
+    /// `async_revalidation_fail` abort and retries.
+    fn epoch_enter(&self) -> Result<u64, Fault> {
+        let e = self.epoch.load(Ordering::SeqCst);
+        if e & 1 == 1 {
+            return Err(Fault::Inconsistent);
+        }
+        Ok(e)
+    }
+
+    /// Epoch re-validation at section exit: the snapshot is discarded
+    /// unless no install started since entry. The fence keeps the data
+    /// loads above from sinking below the epoch re-read.
+    fn epoch_exit(&self, entry: u64) -> Result<(), Fault> {
+        fence(Ordering::SeqCst);
+        if self.epoch.load(Ordering::SeqCst) != entry {
+            return Err(Fault::Inconsistent);
+        }
+        Ok(())
+    }
+
+    /// Speculative value load; every heap fault here can be a
+    /// speculation artifact (recycled bucket) and is settled by the
+    /// driver's word validation.
+    fn load_value(&self, heap: &Heap, key: i64) -> Result<Option<i64>, Fault> {
+        let (b, i) = self.slot_of(key);
+        let bucket = heap.load_ref(self.dir, DIR_CLASS, b)?;
+        let bits = heap.load(bucket, BUCKET_CLASS, 0)?;
+        if bits >> i & 1 == 0 {
+            return Ok(None);
+        }
+        Ok(Some(heap.load_i64(bucket, BUCKET_CLASS, 1 + i)?))
+    }
+
+    /// Elided point-get.
+    pub(crate) fn get(&self, heap: &Heap, key: i64) -> Result<Option<i64>, Fault> {
+        self.strat.read_with(|ck| {
+            let e = self.epoch_enter()?;
+            let v = self.load_value(heap, key)?;
+            ck.checkpoint()?;
+            self.epoch_exit(e)?;
+            Ok(v)
+        })
+    }
+
+    /// Elided scan of `[lo, hi)` (shard-local bounds): one section and
+    /// **one** epoch validation for the whole segment. Present pairs
+    /// are appended in ascending key order.
+    pub(crate) fn scan(&self, heap: &Heap, lo: i64, hi: i64) -> Result<Vec<(i64, i64)>, Fault> {
+        debug_assert!(lo >= self.base && hi <= self.base + self.keys && lo <= hi);
+        self.strat.read_with(|ck| {
+            let e = self.epoch_enter()?;
+            let mut pairs = Vec::new();
+            let mut key = lo;
+            while key < hi {
+                let (b, i0) = self.slot_of(key);
+                let bucket = heap.load_ref(self.dir, DIR_CLASS, b)?;
+                let bits = heap.load(bucket, BUCKET_CLASS, 0)?;
+                let last = (self.width - 1).min((hi - 1 - self.base) as u32
+                    - b * self.width);
+                for i in i0..=last {
+                    if bits >> i & 1 == 1 {
+                        let k = self.base + (b * self.width + i) as i64;
+                        pairs.push((k, heap.load_i64(bucket, BUCKET_CLASS, 1 + i)?));
+                    }
+                }
+                // One check-point per bucket bounds how stale a doomed
+                // speculation can run, without per-key cost.
+                ck.checkpoint()?;
+                key = self.base + ((b + 1) * self.width) as i64;
+            }
+            self.epoch_exit(e)?;
+            Ok(pairs)
+        })
+    }
+
+    /// Elided whole-shard snapshot, tagged with the validated version.
+    pub(crate) fn snapshot(&self, heap: &Heap) -> Result<(u64, Vec<(i64, i64)>), Fault> {
+        self.strat.read_with(|ck| {
+            let e = self.epoch_enter()?;
+            let mut pairs = Vec::new();
+            let buckets = ((self.keys + self.width as i64 - 1) / self.width as i64) as u32;
+            for b in 0..buckets {
+                let bucket = heap.load_ref(self.dir, DIR_CLASS, b)?;
+                let bits = heap.load(bucket, BUCKET_CLASS, 0)?;
+                let last = (self.width - 1).min((self.keys - 1) as u32 - b * self.width);
+                for i in 0..=last {
+                    if bits >> i & 1 == 1 {
+                        let k = self.base + (b * self.width + i) as i64;
+                        pairs.push((k, heap.load_i64(bucket, BUCKET_CLASS, 1 + i)?));
+                    }
+                }
+                ck.checkpoint()?;
+            }
+            self.epoch_exit(e)?;
+            Ok((e >> 1, pairs))
+        })
+    }
+
+    /// One write batch as one write section + one epoch bump.
+    pub(crate) fn apply(&self, heap: &Heap, ops: &[ShardOp]) -> Result<(), Fault> {
+        self.strat.write_with(|| self.apply_locked(heap, ops))
+    }
+
+    /// Put returning the previous value (read under the same lock).
+    pub(crate) fn put(&self, heap: &Heap, key: i64, val: Option<i64>) -> Result<Option<i64>, Fault> {
+        self.strat.write_with(|| {
+            let old = self.load_value(heap, key)?;
+            self.apply_locked(heap, &[(key, val)])?;
+            Ok(old)
+        })
+    }
+
+    /// The COW-install/epoch-bump handshake. Caller holds the shard's
+    /// write lock (runs inside a `write_with` section).
+    fn apply_locked(&self, heap: &Heap, ops: &[ShardOp]) -> Result<(), Fault> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        // Route each op to its bucket; later duplicates win.
+        let mut by_bucket: BTreeMap<u32, Vec<(u32, Option<i64>)>> = BTreeMap::new();
+        for &(key, val) in ops {
+            assert!(
+                key >= self.base && key < self.base + self.keys,
+                "key {key} outside shard range [{}, {})",
+                self.base,
+                self.base + self.keys
+            );
+            let (b, i) = self.slot_of(key);
+            by_bucket.entry(b).or_default().push((i, val));
+        }
+        // Build phase: full bucket copies, invisible to readers. Plain
+        // stores suffice — publication happens via the directory swing
+        // and the epoch RMWs below.
+        let mut installs: Vec<(u32, ObjRef, ObjRef)> = Vec::with_capacity(by_bucket.len());
+        for (b, slot_ops) in by_bucket {
+            let old = heap.load_ref(self.dir, DIR_CLASS, b)?;
+            let fresh = heap.alloc(BUCKET_CLASS, 1 + self.width).unwrap_or_else(|_| {
+                panic!("store heap exhausted mid-write: grow StoreConfig::new(keys)")
+            });
+            let mut bits = heap.load(old, BUCKET_CLASS, 0)?;
+            for i in 0..self.width {
+                let v = heap.load_untyped(old, 1 + i)?;
+                heap.store_plain(fresh, 1 + i, v)?;
+            }
+            for (i, val) in slot_ops {
+                match val {
+                    Some(v) => {
+                        bits |= 1 << i;
+                        heap.store_plain(fresh, 1 + i, v as u64)?;
+                    }
+                    None => bits &= !(1 << i),
+                }
+            }
+            heap.store(fresh, 0, bits)?;
+            installs.push((b, old, fresh));
+        }
+        // Install phase. Odd epoch first: any reader that overlaps the
+        // directory swings sees odd at entry or a changed value at
+        // exit, so no snapshot can mix two versions. The `SeqCst` RMWs
+        // also fence the build-phase stores on TSO — by the time the
+        // even bump is visible, every new bucket is.
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        for &(b, _, fresh) in &installs {
+            heap.store_ref(self.dir, b, fresh)?;
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // Old buckets are freed only after the new version is visible;
+        // a straggling reader touching one faults on the recycled
+        // generation and the driver retries it.
+        for &(_, old, _) in &installs {
+            heap.free(old);
+        }
+        Ok(())
+    }
+}

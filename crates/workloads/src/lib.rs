@@ -14,6 +14,10 @@
 //!   profiles of Table 1 (Figure 16);
 //! * [`bursty`] — the write-bursty phase workload behind the adaptive
 //!   policy's auto-disable/re-enable evidence (`BENCH_adaptive.json`);
+//! * [`zipf`] / [`openloop`] — the service-shaped extension: a seeded
+//!   Zipfian key sampler and the coordinated-omission-safe open-loop
+//!   driver for the `solero-store` MVCC snapshot store
+//!   (`BENCH_store.json`);
 //! * [`table1`] — the lock-statistics table itself;
 //! * [`driver`] — the §4.1 best-of-windows, average-of-runs throughput
 //!   protocol.
@@ -45,4 +49,6 @@ pub mod empty;
 pub mod jbb;
 pub mod latency;
 pub mod maps;
+pub mod openloop;
 pub mod table1;
+pub mod zipf;

@@ -1,0 +1,336 @@
+//! Open-loop store traffic with coordinated-omission-safe latency.
+//!
+//! The paper's driver (and most microbenches) is **closed-loop**: each
+//! thread issues its next operation the instant the previous one
+//! returns, so a slow operation silently throttles the arrival rate
+//! and the latency histogram never sees the requests that *would* have
+//! arrived during the stall — the coordinated-omission artifact. This
+//! module drives the [`solero_store::KvStore`] the way a service is
+//! actually loaded:
+//!
+//! * every worker owns a **fixed arrival schedule** — operation `i` is
+//!   *intended* to start at `t₀ + i · interval`, computed with exact
+//!   integer arithmetic ([`Schedule`]) so the schedule never drifts
+//!   across measurement windows;
+//! * a worker that falls behind does **not** skip or re-plan: it issues
+//!   the late operation immediately, and the recorded latency is
+//!   **intended-start → completion**, so queueing delay from a stall is
+//!   charged to every operation it displaced;
+//! * keys come from the seeded [`crate::zipf::Zipf`] sampler
+//!   (scrambled, so hot keys spread across shards), and the get/scan/
+//!   put mix is a knob ([`OpMix`]).
+//!
+//! Latencies land in the workspace-wide [`solero_obs::hist`] log2
+//! histogram; [`OpenLoopReport`] summarizes p50/p99/p999 plus achieved
+//! vs offered throughput.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use solero_runtime::stats::StatsSnapshot;
+use solero_store::KvStore;
+use solero_testkit::rng::TestRng;
+
+use crate::latency::{LatencyHistogram, LatencyReport};
+use crate::zipf::Zipf;
+
+/// A drift-free arrival schedule: `intended_ns(i) = i · interval_ns`
+/// exactly, in integers. There is no accumulated floating-point error
+/// to drift across windows — additivity is tested in
+/// `tests/zipf_props.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    interval_ns: u64,
+}
+
+impl Schedule {
+    /// A schedule firing every `interval_ns` nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// If `interval_ns` is 0.
+    pub fn new(interval_ns: u64) -> Self {
+        assert!(interval_ns > 0, "zero-interval schedule");
+        Schedule { interval_ns }
+    }
+
+    /// A schedule offering `ops_per_sec` (interval rounded down to
+    /// whole nanoseconds, so the offered rate is rounded *up* to the
+    /// nearest representable one).
+    ///
+    /// # Panics
+    ///
+    /// If `ops_per_sec` is 0 or above 1 GHz.
+    pub fn from_rate(ops_per_sec: u64) -> Self {
+        assert!(
+            ops_per_sec > 0 && ops_per_sec <= 1_000_000_000,
+            "rate out of range: {ops_per_sec}"
+        );
+        Schedule::new(1_000_000_000 / ops_per_sec)
+    }
+
+    /// Nanoseconds between intended starts.
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    /// The intended start of operation `i`, in nanoseconds after t₀.
+    pub fn intended_ns(&self, i: u64) -> u64 {
+        i.checked_mul(self.interval_ns)
+            .expect("schedule overflow: i * interval exceeds u64 nanoseconds")
+    }
+
+    /// Operations scheduled inside a window of length `window`.
+    pub fn ops_in(&self, window: Duration) -> u64 {
+        (window.as_nanos() / self.interval_ns as u128) as u64
+    }
+}
+
+/// Operation mix knobs (percent get / percent scan, remainder put).
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Percent of operations that are point-gets.
+    pub get_pct: u32,
+    /// Percent of operations that are range-scans.
+    pub scan_pct: u32,
+    /// Keys per scan.
+    pub scan_len: usize,
+}
+
+impl OpMix {
+    /// The service-shaped default: 90% gets, 5% scans of 32 keys, 5%
+    /// puts.
+    pub fn read_heavy() -> Self {
+        OpMix {
+            get_pct: 90,
+            scan_pct: 5,
+            scan_len: 32,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.get_pct + self.scan_pct <= 100,
+            "mix over 100%: {self:?}"
+        );
+        assert!(self.scan_pct == 0 || self.scan_len > 0, "empty scans");
+    }
+}
+
+/// Open-loop run shape.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Concurrent load-generating workers.
+    pub workers: usize,
+    /// Offered rate per worker (ops/s); total offered load is
+    /// `workers × rate_per_worker`.
+    pub rate_per_worker: u64,
+    /// One measurement window.
+    pub window: Duration,
+    /// Windows per run (the schedule runs through all of them without
+    /// re-anchoring — drift would show up here).
+    pub windows: usize,
+    /// Closed-loop warmup operations per worker before the clock
+    /// starts (fills caches, faults in the heap, settles adaptive
+    /// policies); stats are reset afterwards.
+    pub warmup_ops: u64,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Zipfian skew of the key popularity distribution.
+    pub theta: f64,
+    /// Root seed; worker `w` uses the derived stream `w`.
+    pub seed: u64,
+}
+
+impl OpenLoopConfig {
+    /// A quick smoke shape (used by `bench_store --quick` and ci.sh).
+    pub fn quick() -> Self {
+        OpenLoopConfig {
+            workers: 2,
+            rate_per_worker: 20_000,
+            window: Duration::from_millis(50),
+            windows: 1,
+            warmup_ops: 500,
+            mix: OpMix::read_heavy(),
+            theta: 0.99,
+            seed: 0x5EED_09E4,
+        }
+    }
+}
+
+/// What one open-loop run produced.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopReport {
+    /// Intended-start → completion latency percentiles.
+    pub latency: LatencyReport,
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock seconds from t₀ to the last completion.
+    pub elapsed_secs: f64,
+    /// Achieved throughput (completed ops / elapsed).
+    pub achieved: f64,
+    /// Offered load (`workers × rate_per_worker`).
+    pub offered: f64,
+    /// Operations that started at least one full interval late — the
+    /// operations a closed-loop driver would have silently omitted.
+    pub late_starts: u64,
+    /// Merged lock statistics over the measured phase.
+    pub stats: StatsSnapshot,
+}
+
+/// One worker operation against the store.
+fn store_op(store: &KvStore, zipf: &Zipf, mix: &OpMix, rng: &mut TestRng) {
+    let key = zipf.scrambled(rng) as i64;
+    let dice = rng.gen_range(0..100u32);
+    if dice < mix.get_pct {
+        std::hint::black_box(store.get(key).expect("gets cannot genuinely fault"));
+    } else if dice < mix.get_pct + mix.scan_pct {
+        std::hint::black_box(store.scan(key, mix.scan_len).expect("scans cannot genuinely fault"));
+    } else {
+        let v = rng.gen::<i64>();
+        store.put(key, v).expect("puts cannot genuinely fault");
+    }
+}
+
+/// Waits until `intended`; hybrid sleep/spin so the schedule is honored
+/// to well under the histogram's bucket resolution.
+fn wait_until(t0: Instant, intended_ns: u64) {
+    let intended = Duration::from_nanos(intended_ns);
+    loop {
+        let now = t0.elapsed();
+        if now >= intended {
+            return;
+        }
+        let remaining = intended - now;
+        if remaining > Duration::from_micros(200) {
+            std::thread::sleep(remaining - Duration::from_micros(100));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Runs the open-loop load against `store` and reports intended-start →
+/// completion latency plus achieved vs offered throughput.
+///
+/// The store should be pre-populated ([`populate`]); stats are reset
+/// after warmup so the report covers only the measured phase.
+pub fn run_open_loop(store: &KvStore, cfg: &OpenLoopConfig) -> OpenLoopReport {
+    cfg.mix.validate();
+    assert!(cfg.workers >= 1 && cfg.windows >= 1);
+    let zipf = Zipf::new(store.config().keys as u64, cfg.theta);
+    let schedule = Schedule::from_rate(cfg.rate_per_worker);
+    let ops_per_worker = schedule.ops_in(cfg.window) * cfg.windows as u64;
+    let hist = LatencyHistogram::new();
+    let late = std::sync::atomic::AtomicU64::new(0);
+    let start = Barrier::new(cfg.workers + 1);
+
+    let t0 = std::thread::scope(|s| {
+        for w in 0..cfg.workers {
+            let (hist, late, start, zipf) = (&hist, &late, &start, &zipf);
+            s.spawn(move || {
+                let mut rng = TestRng::derive(cfg.seed, w as u64);
+                for _ in 0..cfg.warmup_ops {
+                    store_op(store, zipf, &cfg.mix, &mut rng);
+                }
+                start.wait(); // warmup done everywhere
+                start.wait(); // stats reset; clock running
+                let t0 = Instant::now();
+                let mut behind = 0u64;
+                for i in 0..ops_per_worker {
+                    let intended = schedule.intended_ns(i);
+                    wait_until(t0, intended);
+                    let started = t0.elapsed().as_nanos() as u64;
+                    if started >= intended + schedule.interval_ns() {
+                        behind += 1;
+                    }
+                    store_op(store, zipf, &cfg.mix, &mut rng);
+                    let done = t0.elapsed().as_nanos() as u64;
+                    hist.record_ns(done - intended);
+                }
+                late.fetch_add(behind, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+        start.wait();
+        store.reset_stats();
+        let t0 = Instant::now();
+        start.wait();
+        t0
+    });
+
+    let elapsed = t0.elapsed().as_secs_f64();
+    let ops = ops_per_worker * cfg.workers as u64;
+    OpenLoopReport {
+        latency: LatencyReport::from_snapshot(&hist.snapshot()),
+        ops,
+        elapsed_secs: elapsed,
+        achieved: ops as f64 / elapsed,
+        offered: (cfg.workers as u64 * cfg.rate_per_worker) as f64,
+        late_starts: late.load(std::sync::atomic::Ordering::Relaxed),
+        stats: store.snapshot_stats(),
+    }
+}
+
+/// Pre-populates every key of the store, in per-shard batches sized to
+/// keep the COW transient small. `value(key)` supplies the payload.
+pub fn populate(store: &KvStore, value: impl Fn(i64) -> i64) {
+    const CHUNK: i64 = 4096;
+    let keys = store.config().keys;
+    let mut k = 0;
+    while k < keys {
+        let hi = (k + CHUNK).min(keys);
+        let batch: Vec<(i64, i64)> = (k..hi).map(|key| (key, value(key))).collect();
+        store.put_many(&batch).expect("populate");
+        k = hi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solero::SoleroStrategy;
+    use solero_store::StoreConfig;
+
+    #[test]
+    fn schedule_is_exact_integer_arithmetic() {
+        let s = Schedule::from_rate(333_333);
+        assert_eq!(s.interval_ns(), 3000);
+        assert_eq!(s.intended_ns(0), 0);
+        assert_eq!(s.intended_ns(1_000_000), 3_000_000_000);
+        assert_eq!(s.ops_in(Duration::from_secs(1)), 333_333);
+    }
+
+    #[test]
+    fn open_loop_run_reports_all_scheduled_ops() {
+        let store = KvStore::new(
+            StoreConfig::new(1024).with_shards(4),
+            SoleroStrategy::new,
+        );
+        populate(&store, |k| k);
+        let cfg = OpenLoopConfig {
+            workers: 2,
+            rate_per_worker: 50_000,
+            window: Duration::from_millis(20),
+            windows: 2,
+            warmup_ops: 100,
+            mix: OpMix::read_heavy(),
+            theta: 0.9,
+            seed: 0x09E4_0001,
+        };
+        let r = run_open_loop(&store, &cfg);
+        assert_eq!(r.ops, 2 * 2 * 1000);
+        assert_eq!(r.latency.samples, r.ops);
+        assert!(r.achieved > 0.0 && r.offered == 100_000.0);
+        // The measured phase does real sections on every shard.
+        assert!(r.stats.total_sections() >= r.ops, "{:?}", r.stats);
+    }
+
+    #[test]
+    fn populate_fills_every_key() {
+        let store = KvStore::new(StoreConfig::new(10_000), SoleroStrategy::new);
+        populate(&store, |k| k * 7);
+        assert_eq!(store.get(0).unwrap(), Some(0));
+        assert_eq!(store.get(9_999).unwrap(), Some(69_993));
+        assert_eq!(store.checkpoint().unwrap().len(), 10_000);
+    }
+}

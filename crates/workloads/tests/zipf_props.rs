@@ -1,0 +1,122 @@
+//! Property tests for the Zipfian sampler and the open-loop schedule
+//! arithmetic (`solero_workloads::{zipf, openloop}`).
+//!
+//! Driven by `solero_testkit::forall`; any failure prints the root
+//! seed, and `SOLERO_TESTKIT_SEED` replays the identical case matrix.
+
+use std::time::Duration;
+
+use solero_testkit::forall;
+use solero_testkit::rng::TestRng;
+use solero_workloads::openloop::Schedule;
+use solero_workloads::zipf::Zipf;
+
+/// Every drawn rank — and every scrambled key — lies in `[0, n)`, for
+/// arbitrary rank-space sizes and skews.
+#[test]
+fn ranks_and_scrambled_keys_stay_in_bounds() {
+    forall(64, 0x21FF_0001, |g| {
+        let n = g.rng().gen_range(1..20_000u64);
+        let theta = 0.05 + g.rng().gen::<f64>() * 0.93; // (0.05, 0.98)
+        let z = Zipf::new(n, theta);
+        let mut rng = TestRng::seed_from_u64(g.rng().gen());
+        for _ in 0..200 {
+            assert!(z.sample(&mut rng) < n, "rank escaped [0, {n})");
+            assert!(z.scrambled(&mut rng) < n, "key escaped [0, {n})");
+        }
+    });
+}
+
+/// The sampler is a pure function of its seed: identical seeds yield
+/// identical traces, and the trace does not depend on construction
+/// order or repeated sampler instances.
+#[test]
+fn sampling_is_seed_deterministic() {
+    forall(32, 0x21FF_0002, |g| {
+        let n = g.rng().gen_range(2..10_000u64);
+        let theta = 0.1 + g.rng().gen::<f64>() * 0.85;
+        let seed: u64 = g.rng().gen();
+        let z1 = Zipf::new(n, theta);
+        let z2 = Zipf::new(n, theta);
+        let mut a = TestRng::seed_from_u64(seed);
+        let mut b = TestRng::seed_from_u64(seed);
+        let ta: Vec<u64> = (0..100).map(|_| z1.scrambled(&mut a)).collect();
+        let tb: Vec<u64> = (0..100).map(|_| z2.scrambled(&mut b)).collect();
+        assert_eq!(ta, tb, "same seed must replay the same key trace");
+    });
+}
+
+/// Skew monotonicity: raising θ concentrates more of the mass on the
+/// hottest ranks. Measured as the sampled share of the top 1% of
+/// ranks, which grows by integer factors between these θ values — far
+/// beyond sampling noise at 20 000 draws.
+#[test]
+fn higher_theta_means_heavier_hot_mass() {
+    forall(8, 0x21FF_0003, |g| {
+        let n = 1000u64;
+        let samples = 20_000u32;
+        let seed: u64 = g.rng().gen();
+        let hot_share = |theta: f64| -> f64 {
+            let z = Zipf::new(n, theta);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let hot = (0..samples).filter(|_| z.sample(&mut rng) < n / 100).count();
+            hot as f64 / samples as f64
+        };
+        let (low, mid, high) = (hot_share(0.5), hot_share(0.8), hot_share(0.95));
+        assert!(
+            low < mid && mid < high,
+            "hot-key mass must grow with theta: {low:.3} !< {mid:.3} !< {high:.3}"
+        );
+    });
+}
+
+/// The schedule is exact integer arithmetic: intended starts are
+/// additive (`intended(a + b) = intended(a) + intended(b)`), so
+/// chaining measurement windows accumulates **zero** drift — the
+/// intended start of the first op of window `k` is exactly `k × window`
+/// regardless of how many windows preceded it.
+#[test]
+fn open_loop_schedule_never_drifts_across_windows() {
+    forall(64, 0x21FF_0004, |g| {
+        let interval = g.rng().gen_range(1..1_000_000u64);
+        let s = Schedule::new(interval);
+        let a = g.rng().gen_range(0..1_000_000u64);
+        let b = g.rng().gen_range(0..1_000_000u64);
+        assert_eq!(
+            s.intended_ns(a + b),
+            s.intended_ns(a) + s.intended_ns(b),
+            "schedule arithmetic drifted"
+        );
+        // Windowed form: k windows of m ops start exactly where one
+        // window of k·m ops says they do.
+        let m = g.rng().gen_range(1..10_000u64);
+        let k = g.rng().gen_range(1..64u64);
+        assert_eq!(s.intended_ns(k * m), k * s.intended_ns(m));
+        // Monotone and starting at zero.
+        assert_eq!(s.intended_ns(0), 0);
+        assert!(s.intended_ns(a) <= s.intended_ns(a + 1));
+    });
+}
+
+/// `from_rate` and `ops_in` agree: a window holds exactly the ops whose
+/// intended start falls inside it.
+#[test]
+fn window_op_counts_match_the_schedule() {
+    forall(64, 0x21FF_0005, |g| {
+        let rate = g.rng().gen_range(1..2_000_000u64);
+        let s = Schedule::from_rate(rate);
+        let window = Duration::from_millis(g.rng().gen_range(1..2_000u64));
+        let ops = s.ops_in(window);
+        let w_ns = window.as_nanos() as u64;
+        if ops > 0 {
+            assert!(s.intended_ns(ops - 1) < w_ns, "op scheduled past its window");
+        }
+        // Floor semantics: `ops` whole intervals fit, one more would
+        // not.
+        assert!(s.intended_ns(ops) <= w_ns, "window over-filled");
+        assert!(
+            w_ns < s.intended_ns(ops) + s.interval_ns(),
+            "window under-filled"
+        );
+    });
+}

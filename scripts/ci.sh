@@ -109,6 +109,20 @@ SOLERO_MC_SEED=0x5EEDB7A0 SOLERO_MC_BUDGET=20000 RUST_BACKTRACE=0 \
     -- --nocapture --test-threads=1 \
     | grep -E "mc\[|test result"
 
+# Budgeted store snapshot pass: the MVCC store's COW-install/epoch-bump
+# handshake drained three ways (exhaustive DFS, TSO store buffers, DPOR
+# with a checkpointer in the mix) with SOLERO_MC_BUDGET bounding each
+# search. The uncapped completeness run already happened in the main mc
+# step above; this pins the budget knob and the replay path for the
+# store protocol the same way the bravo step does.
+echo "== tier-1: mc store snapshot handshake (budgeted) =="
+SOLERO_MC_SEED=0x5EED5705 SOLERO_MC_BUDGET=20000 RUST_BACKTRACE=0 \
+    RUSTFLAGS="--cfg solero_mc" CARGO_TARGET_DIR=target/mc \
+    cargo test -q --offline -p solero-mc \
+    --test store_mc \
+    -- --nocapture --test-threads=1 \
+    | grep -E "mc\[|test result"
+
 # Replay the concurrency stress and property suites under a pinned seed
 # matrix: different roots exercise different schedules/cases, and every
 # one of them is reproducible by exporting the printed seed.
@@ -120,14 +134,17 @@ for seed in "${PINNED_SEEDS[@]}"; do
         --test collections_contention_stress \
         --test fallback_starvation \
         --test adaptive_policy_stress \
-        --test bravo_reader_scaling
+        --test bravo_reader_scaling \
+        --test store_snapshot_stress
     SOLERO_TESTKIT_SEED="${seed}" cargo test -q --offline \
         -p solero \
         -p solero-runtime \
         -p solero-collections \
         -p solero-jit \
         -p solero-rwlock \
+        -p solero-workloads \
         --test lock_state_props \
+        --test zipf_props \
         --test word_props \
         --test model_based \
         --test random_programs \
@@ -149,5 +166,13 @@ echo "== tier-1: bravo reader sweep smoke (quick) =="
 cargo run -q --offline -p solero-bench --bin bench_bravo -- \
     --quick --out results/BENCH_bravo_quick.json 2> /dev/null
 test -s results/BENCH_bravo_quick.json
+
+# And the open-loop store sweep (full-size run is checked in as
+# BENCH_store.json): the quick run proves the bin still drives the whole
+# fleet through the Zipfian open loop and emits a well-formed document.
+echo "== tier-1: store open-loop sweep smoke (quick) =="
+cargo run -q --offline -p solero-bench --bin bench_store -- \
+    --quick --out results/BENCH_store_quick.json 2> /dev/null
+test -s results/BENCH_store_quick.json
 
 echo "== tier-1 green =="

@@ -1,7 +1,7 @@
 //! API conformance: thread-safety markers and trait hygiene that the
 //! rest of the system (and downstream users) rely on.
 
-use solero::{Fault, SoleroConfig, SoleroLock};
+use solero::{Fault, SoleroConfig, SoleroLock, SyncStrategy};
 use solero_heap::{Heap, ObjRef};
 use solero_jit::interp::Interpreter;
 use solero_runtime::stats::StatsSnapshot;
@@ -30,14 +30,13 @@ fn shared_types_are_send_and_sync() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_rwlock_strategy_alias_still_resolves() {
-    // The PR 7 API redesign keeps the old concrete strategy name alive
-    // for one release as a deprecated alias of `RwStrategy<JavaRwLock>`.
-    fn takes_new_type(_: &solero::RwStrategy<JavaRwLock>) {}
-    let old = solero::RwLockStrategy::new();
-    takes_new_type(&old);
-    assert_send_sync::<solero::RwLockStrategy>();
+fn rw_strategy_spells_the_lock_explicitly() {
+    // The PR 7 API redesign made the strategy generic over the lock;
+    // the deprecated `RwLockStrategy` alias lived exactly one release
+    // and is gone — the lock is always named at the type level now.
+    let strat = solero::RwStrategy::<JavaRwLock>::new();
+    assert_eq!(strat.name(), JavaRwLock::NAME);
+    assert_send_sync::<solero::RwStrategy<JavaRwLock>>();
 }
 
 #[test]
