@@ -1,0 +1,285 @@
+//! `bench_seqlock` — the two deltas of the inline-seqlock issue,
+//! emitted as `BENCH_seqlock.json`.
+//!
+//! ```text
+//! bench_seqlock [--quick] [--out PATH]
+//! ```
+//!
+//! **Read sweep** — a fixed budget of validated pair-reads split across
+//! 1, 4 and 16 threads, inline vs heap-backed. The inline cell is
+//! `SeqLock<[u64; 2]>::read_inline()`: the payload words sit beside the
+//! sequence word, so a read is a handful of same-line loads. The
+//! heap-backed cell reads the same pair through the SOLERO elision
+//! protocol over `solero-heap` — handle decode, class check, bounds
+//! check and the header indirection on every word. Both validate
+//! against a sequence word and neither writes it, so the per-op gap is
+//! exactly the indirection the inline layout deletes.
+//!
+//! **Fallback storm** — 16 threads (deliberately oversubscribed; CI
+//! hosts may have a single core) each mixing 50% *stretched*
+//! `update_inline` writes into their reads on one lock, so writers get
+//! preempted while the word is odd and the retry-exhausted fallback
+//! plus the slow write path carry the traffic. Run once with
+//! `ContentionConfig::naive()` — the fixed spin cadence the pre-manager
+//! code used, which never yields and never escalates, so every
+//! contender burns its whole quantum while the preempted holder waits
+//! for the CPU — and once with the default history-keyed manager,
+//! whose escalating back-off crosses the yield threshold and hands the
+//! core back. The managed cells report `contention_backoffs` so the
+//! waits are attributable, and the headline is the managed/naive
+//! throughput ratio.
+
+use std::path::PathBuf;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use solero::{Fault, SeqLock, SoleroConfig, SoleroLock};
+use solero_heap::{ClassId, Heap};
+use solero_runtime::contention::ContentionConfig;
+use solero_testkit::TestRng;
+
+const READ_THREADS: [usize; 3] = [1, 4, 16];
+const STORM_THREADS: usize = 16;
+const PAIR: ClassId = ClassId::new(42);
+
+struct Cell {
+    label: &'static str,
+    threads: usize,
+    ops: u64,
+    secs: f64,
+    fallback_acquires: u64,
+    contention_backoffs: u64,
+}
+
+impl Cell {
+    fn mops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.secs / 1e6
+    }
+
+    fn ns_per_op(&self) -> f64 {
+        self.secs * 1e9 / self.ops as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"threads\":{},\"ops\":{},\"secs\":{:.6},\
+             \"mops_per_sec\":{:.4},\"ns_per_op\":{:.2},\
+             \"fallback_acquires\":{},\"contention_backoffs\":{}}}",
+            self.label,
+            self.threads,
+            self.ops,
+            self.secs,
+            self.mops_per_sec(),
+            self.ns_per_op(),
+            self.fallback_acquires,
+            self.contention_backoffs
+        )
+    }
+}
+
+/// Barrier-started timing shared by every cell; the clock starts before
+/// the release so elapsed time can only be overestimated (best-of-N
+/// repeats then trims), never undercounted.
+fn timed(threads: usize, body: impl Fn(usize) + Sync) -> f64 {
+    let start = Barrier::new(threads + 1);
+    let t0 = std::thread::scope(|s| {
+        for id in 0..threads {
+            let (start, body) = (&start, &body);
+            s.spawn(move || {
+                start.wait();
+                body(id);
+            });
+        }
+        let t0 = Instant::now();
+        start.wait();
+        t0
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+/// Inline read cell: validated pair-reads straight off the lock's own
+/// cache line.
+fn run_inline_reads(threads: usize, total: u64) -> Cell {
+    let lock = SeqLock::new([7u64, 7]);
+    let per = total / threads as u64;
+    let secs = timed(threads, |_| {
+        for _ in 0..per {
+            let pair = lock.read_inline();
+            std::hint::black_box(pair);
+        }
+    });
+    let s = lock.stats().snapshot();
+    assert_eq!(s.read_enters, per * threads as u64, "lost inline reads");
+    Cell {
+        label: "inline",
+        threads,
+        ops: per * threads as u64,
+        secs,
+        fallback_acquires: s.fallback_acquires,
+        contention_backoffs: s.contention_backoffs,
+    }
+}
+
+/// Heap-backed read cell: the same validated pair, but behind SOLERO's
+/// elided read section over `solero-heap` handles.
+fn run_heap_reads(threads: usize, total: u64) -> Cell {
+    let lock = SoleroLock::new();
+    let heap = Heap::new(64);
+    let obj = heap.alloc(PAIR, 2).expect("bench heap is large enough");
+    heap.store_plain(obj, 0, 7).unwrap();
+    heap.store_plain(obj, 1, 7).unwrap();
+    let per = total / threads as u64;
+    let secs = timed(threads, |_| {
+        for _ in 0..per {
+            let pair = lock
+                .read_only(|_| {
+                    let a = heap.load_plain(obj, PAIR, 0)?;
+                    let b = heap.load_plain(obj, PAIR, 1)?;
+                    Ok::<_, Fault>((a, b))
+                })
+                .expect("no genuine faults in the read sweep");
+            std::hint::black_box(pair);
+        }
+    });
+    let s = lock.stats().snapshot();
+    assert_eq!(s.read_enters, per * threads as u64, "lost heap reads");
+    Cell {
+        label: "heap",
+        threads,
+        ops: per * threads as u64,
+        secs,
+        fallback_acquires: s.fallback_acquires,
+        contention_backoffs: s.contention_backoffs,
+    }
+}
+
+/// Fallback-storm cell: every thread mixes 25% coupled-pair writes into
+/// its reads, under the given contention policy.
+fn run_storm(label: &'static str, contention: ContentionConfig, total: u64) -> Cell {
+    let lock = SeqLock::with_config(
+        SoleroConfig::builder().contention(contention).build(),
+        [0u64; 2],
+    );
+    let per = total / STORM_THREADS as u64;
+    let secs = timed(STORM_THREADS, |id| {
+        let mut rng = TestRng::derive(0x5EC_10CC, id as u64);
+        for _ in 0..per {
+            if rng.gen_range(0u32..2) == 0 {
+                lock.update_inline(|v| {
+                    // Stretch the hold so writers are regularly
+                    // preempted mid-section — the shape that separates
+                    // yielding back-off from blind spinning.
+                    for _ in 0..1024 {
+                        std::hint::spin_loop();
+                    }
+                    v[0] += 1;
+                    v[1] += 1;
+                });
+            } else {
+                let [a, b] = lock.read_inline();
+                assert_eq!(a, b, "storm read observed a torn pair");
+            }
+        }
+    });
+    let s = lock.stats().snapshot();
+    assert_eq!(
+        s.read_enters + s.write_enters,
+        per * STORM_THREADS as u64,
+        "lost storm ops"
+    );
+    Cell {
+        label,
+        threads: STORM_THREADS,
+        ops: per * STORM_THREADS as u64,
+        secs,
+        fallback_acquires: s.fallback_acquires,
+        contention_backoffs: s.contention_backoffs,
+    }
+}
+
+fn best(repeats: usize, run: impl Fn() -> Cell) -> Cell {
+    (0..repeats)
+        .map(|_| run())
+        .min_by(|a, b| a.secs.total_cmp(&b.secs))
+        .expect("at least one repeat")
+}
+
+fn cells_json(cells: &[Cell]) -> String {
+    cells.iter().map(Cell::to_json).collect::<Vec<_>>().join(",\n      ")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_seqlock.json"));
+    // 16 threads must divide both budgets evenly.
+    let reads: u64 = if quick { 16 * 4_000 } else { 16 * 200_000 };
+    let storm_ops: u64 = if quick { 16 * 250 } else { 16 * 4_000 };
+    let repeats = if quick { 1 } else { 5 };
+
+    eprintln!(
+        "bench_seqlock: {reads} reads per read cell (threads {READ_THREADS:?}), \
+         {storm_ops} storm ops at {STORM_THREADS} threads, best of {repeats}"
+    );
+
+    // Warm both contenders untimed first: the very first cell otherwise
+    // pays every one-time cost (lazy TLS, first page touches) and the
+    // quick mode has no repeats to trim it.
+    std::hint::black_box(run_inline_reads(1, 4_000));
+    std::hint::black_box(run_heap_reads(1, 4_000));
+
+    let mut read_cells = Vec::new();
+    for &threads in &READ_THREADS {
+        // Interleave the contenders inside each thread count so a slow
+        // patch on a shared host cannot land entirely on one of them.
+        let inline = best(repeats, || run_inline_reads(threads, reads));
+        let heap = best(repeats, || run_heap_reads(threads, reads));
+        eprintln!(
+            "  [reads] {threads:>2} threads: inline {:>8.2} ns/op, heap {:>8.2} ns/op ({:.2}x)",
+            inline.ns_per_op(),
+            heap.ns_per_op(),
+            heap.ns_per_op() / inline.ns_per_op()
+        );
+        read_cells.push(inline);
+        read_cells.push(heap);
+    }
+    let inline_gap = read_cells[1].ns_per_op() / read_cells[0].ns_per_op();
+
+    let naive = best(repeats, || {
+        run_storm("storm-naive", ContentionConfig::naive(), storm_ops)
+    });
+    let managed = best(repeats, || {
+        run_storm("storm-managed", ContentionConfig::default(), storm_ops)
+    });
+    let storm_ratio = managed.mops_per_sec() / naive.mops_per_sec();
+    eprintln!(
+        "  [storm] {STORM_THREADS} threads: naive {:>7.3} Mops/s, managed {:>7.3} Mops/s \
+         ({storm_ratio:.2}x, {} managed backoffs)",
+        naive.mops_per_sec(),
+        managed.mops_per_sec(),
+        managed.contention_backoffs
+    );
+
+    // Assembled by hand like BENCH_bravo.json: no nested values beyond
+    // arrays of flat objects, `solero_obs::json` re-parseable.
+    let doc = format!(
+        "{{\n  \"workload\": \"seqlock-inline-and-fallback-storm\",\n  \
+         \"reads_per_cell\": {reads},\n  \
+         \"storm_ops\": {storm_ops},\n  \
+         \"storm_threads\": {STORM_THREADS},\n  \
+         \"inline_speedup_single_thread\": {inline_gap:.4},\n  \
+         \"managed_vs_naive_storm\": {storm_ratio:.4},\n  \
+         \"read_cells\": [\n      {}\n  ],\n  \
+         \"storm_cells\": [\n      {}\n  ]\n}}\n",
+        cells_json(&read_cells),
+        cells_json(&[naive, managed]),
+    );
+    std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+    eprintln!("wrote {}", out.display());
+}

@@ -16,7 +16,7 @@
 
 use solero_testkit::rng::TestRng;
 use solero::{
-    BoxedStrategy, BravoStrategy, JavaRwLock, LockStrategy, RwStrategy, SoleroConfig,
+    BoxedStrategy, BravoStrategy, JavaRwLock, LockStrategy, RwStrategy, SeqStrategy, SoleroConfig,
     SoleroStrategy, SyncStrategy,
 };
 use solero_workloads::dacapo::{DacapoBench, DACAPO_PROFILES};
@@ -95,6 +95,13 @@ pub fn fleet() -> Vec<FleetEntry> {
                     SoleroConfig::builder().adaptive(true).build(),
                 ))
             },
+        },
+        // The inline seqlock guards ambient workload data through its
+        // sequence word here (the closure sections); the typed inline
+        // payload fast path is measured separately by `bench_seqlock`.
+        FleetEntry {
+            name: "SeqLock",
+            make: || Box::new(SeqStrategy::new(0u64)),
         },
     ]
 }
@@ -532,7 +539,14 @@ mod tests {
     #[test]
     fn fleet_registry_carries_every_contender() {
         let fleet = fleet();
-        for required in ["Lock", "RWLock", "BRAVO-RW", "SOLERO", "Adaptive-SOLERO"] {
+        for required in [
+            "Lock",
+            "RWLock",
+            "BRAVO-RW",
+            "SOLERO",
+            "Adaptive-SOLERO",
+            "SeqLock",
+        ] {
             assert!(
                 fleet.iter().any(|e| e.name == required),
                 "the sweep fleet must include {required}"

@@ -5,6 +5,7 @@
 //! (`Unelided-SOLERO`, `WeakBarrier-SOLERO`) and to make tests
 //! deterministic.
 
+use solero_runtime::contention::ContentionConfig;
 use solero_runtime::fence::BarrierMode;
 use solero_runtime::spin::SpinConfig;
 
@@ -50,8 +51,14 @@ pub struct SoleroConfig {
     /// back to acquiring the lock. The paper uses 1: "the fallback
     /// occurs after one failure".
     pub fallback_threshold: u32,
-    /// Three-tier contention loop sizes (Figure 3 / Figure 8).
+    /// Three-tier contention loop sizes (Figure 3 / Figure 8); still
+    /// used by the slow *read* entry, which waits for the word to free
+    /// rather than competing on a CAS.
     pub spin: SpinConfig,
+    /// History-keyed back-off for the contending CAS probes of the slow
+    /// write path and the retry-exhausted fallback (arXiv 1305.5800's
+    /// contention manager, replacing the naive fixed spin there).
+    pub contention: ContentionConfig,
     /// Deterministic validation period at check-points: in addition to
     /// asynchronous events, every `checkpoint_period`-th poll validates.
     /// `0` disables the deterministic fallback (events only).
@@ -70,6 +77,7 @@ impl Default for SoleroConfig {
             barrier: BarrierMode::Strong,
             fallback_threshold: 1,
             spin: SpinConfig::default(),
+            contention: ContentionConfig::default(),
             checkpoint_period: 1024,
             adaptive: None,
         }
@@ -148,6 +156,15 @@ impl SoleroConfigBuilder {
         self
     }
 
+    /// History-keyed back-off policy for the slow write / fallback CAS
+    /// probes. [`ContentionConfig::naive`] restores the pre-manager
+    /// fixed cadence (the fallback-storm ablation);
+    /// [`ContentionConfig::minimal`] bounds model-checked state spaces.
+    pub fn contention(mut self, contention: ContentionConfig) -> Self {
+        self.cfg.contention = contention;
+        self
+    }
+
     /// Deterministic validation period at check-points (`0` disables).
     pub fn checkpoint_period(mut self, period: u64) -> Self {
         self.cfg.checkpoint_period = period;
@@ -210,6 +227,23 @@ mod tests {
         assert_eq!(SoleroConfig::builder().retries(0).build().fallback_threshold, 1);
         // Defaults flow through untouched.
         assert_eq!(SoleroConfig::builder().build(), SoleroConfig::default());
+    }
+
+    #[test]
+    fn contention_knob_round_trips() {
+        assert_eq!(
+            SoleroConfig::default().contention,
+            ContentionConfig::default()
+        );
+        let naive = SoleroConfig::builder()
+            .contention(ContentionConfig::naive())
+            .build();
+        assert_eq!(naive.contention, ContentionConfig::naive());
+        assert_eq!(naive.contention.shift_cap, 0, "naive mode never escalates");
+        let minimal = SoleroConfig::builder()
+            .contention(ContentionConfig::minimal())
+            .build();
+        assert_eq!(minimal.contention.attempts, 2);
     }
 
     #[test]

@@ -47,6 +47,12 @@
 //! * [`ReadSession`] / [`MostlySession`] / [`Checkpoint`] /
 //!   [`WriteIntent`] — contexts handed to critical-section closures,
 //!   carrying validation check-points and the in-place upgrade;
+//! * [`SeqLock`] / [`SeqStrategy`] — the inline-data seqlock fast path
+//!   for small `Copy` read-mostly payloads: the payload lives beside
+//!   the sequence word (one cache line, no heap indirection), readers
+//!   validate with the same abort taxonomy, and writers contend under
+//!   the history-keyed back-off of
+//!   [`ContentionConfig`](solero_runtime::contention::ContentionConfig);
 //! * [`SyncStrategy`] with [`LockStrategy`], [`RwStrategy`] (over any
 //!   [`RawRwLock`]: the `RWLock` baseline [`JavaRwLock`] or the BRAVO
 //!   biased lock [`BravoLock`]), [`SoleroStrategy`] — the lock
@@ -74,6 +80,7 @@ mod lock;
 #[cfg(solero_mc)]
 pub mod mutation;
 mod read;
+mod seqlock;
 mod session;
 mod strategy;
 
@@ -81,6 +88,7 @@ pub use adaptive::{AdaptiveBudgets, AdaptivePolicy, EntryDecision, PolicyProbe};
 pub use config::{ElisionMode, SoleroConfig, SoleroConfigBuilder};
 pub use dynstrategy::{BoxedStrategy, DynSyncStrategy};
 pub use lock::{SoleroLock, SoleroWriteGuard, WriteTicket};
+pub use seqlock::{SeqData, SeqLock, SeqStrategy, SEQ_INLINE_WORDS};
 pub use session::{Checkpoint, MostlySession, NullCheckpoint, ReadSession, WriteIntent};
 pub use strategy::{BravoStrategy, LockStrategy, RwStrategy, SoleroStrategy, SyncStrategy};
 

@@ -381,27 +381,39 @@ impl SoleroLock {
                 }
                 continue;
             }
-            // Held by another thread (or FLC pending): spin, then park.
-            let spun = self.config.spin.run(|| {
-                let v = SoleroWord(self.word.load(Ordering::Acquire));
-                if v.is_elidable() {
-                    if self
-                        .word
-                        .compare_exchange(
-                            v.raw(),
-                            SoleroWord::held_by(tid).raw(),
-                            Ordering::AcqRel,
-                            Ordering::Relaxed,
-                        )
-                        .is_ok()
-                    {
-                        return Probe::Done(Some(v.raw()));
+            // Held by another thread (or FLC pending): probe under the
+            // history-keyed contention manager (arXiv 1305.5800 — a
+            // contended CAS convoy is exactly where the naive fixed
+            // spin collapsed), then park. This is also the path the
+            // retry-exhausted read fallback takes, so fallback storms
+            // back off instead of stampeding the word.
+            let spun = self.config.contention.run_observed(
+                || {
+                    let v = SoleroWord(self.word.load(Ordering::Acquire));
+                    if v.is_elidable() {
+                        if self
+                            .word
+                            .compare_exchange(
+                                v.raw(),
+                                SoleroWord::held_by(tid).raw(),
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            return Probe::Done(Some(v.raw()));
+                        }
+                    } else if v.needs_monitor() {
+                        return Probe::Done(None);
                     }
-                } else if v.needs_monitor() {
-                    return Probe::Done(None);
-                }
-                Probe::Retry
-            });
+                    Probe::Retry
+                },
+                |_| {
+                    self.stats
+                        .contention_backoffs
+                        .fetch_add(1, Ordering::Relaxed);
+                },
+            );
             match spun {
                 Some(Some(v1)) => {
                     self.saved_v1.store(v1, Ordering::Relaxed);

@@ -372,6 +372,11 @@ mod tests {
         exercise(&SoleroStrategy::configured(
             SoleroConfig::builder().adaptive(true).build(),
         ));
+        exercise(&crate::SeqStrategy::new(0u64));
+        exercise(&crate::SeqStrategy::configured(
+            SoleroConfig::builder().adaptive(true).build(),
+            0u64,
+        ));
     }
 
     #[test]
@@ -409,6 +414,9 @@ mod tests {
             SoleroStrategy::configured(SoleroConfig::builder().unelided(true).build()).name(),
             SoleroStrategy::configured(SoleroConfig::builder().weak_barrier(true).build()).name(),
             SoleroStrategy::configured(SoleroConfig::builder().adaptive(true).build()).name(),
+            crate::SeqStrategy::new(0u64).name(),
+            crate::SeqStrategy::configured(SoleroConfig::builder().adaptive(true).build(), 0u64)
+                .name(),
         ];
         for (i, a) in names.iter().enumerate() {
             for b in &names[i + 1..] {

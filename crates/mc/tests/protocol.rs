@@ -16,15 +16,22 @@ use std::sync::Arc;
 use solero::{Fault, SoleroConfig, SoleroLock};
 use solero_heap::{ClassId, Heap, ObjRef};
 use solero_mc::{spawn, Checker};
+use solero_runtime::contention::ContentionConfig;
 use solero_runtime::spin::SpinConfig;
 use solero_runtime::word::COUNTER_STEP;
 
 const PAIR: ClassId = ClassId::new(7);
 
-/// Minimal-state-space config: no spinning, so contention escalates to
-/// the monitor in one step instead of adding schedule points.
+/// Minimal-state-space config: no spinning and a two-probe contention
+/// manager, so contention escalates to the monitor in a couple of
+/// steps instead of adding schedule points (the manager's default
+/// 128-probe rounds stretch the fallback-heavy schedules here past the
+/// execution budget).
 fn mc_config() -> SoleroConfig {
-    SoleroConfig::builder().spin(SpinConfig::immediate()).build()
+    SoleroConfig::builder()
+        .spin(SpinConfig::immediate())
+        .contention(ContentionConfig::minimal())
+        .build()
 }
 
 /// Allocates a two-slot object whose invariant is `slot0 == slot1`.

@@ -7,6 +7,8 @@
 //!   and 5;
 //! * [`thread`] — non-zero 56-bit thread ids;
 //! * [`spin`] — the three-tier contention loops of Figure 3;
+//! * [`contention`] — the history-keyed back-off contention manager
+//!   (arXiv 1305.5800) behind the slow write / fallback probes;
 //! * [`osmonitor`] — reentrant Java-style OS monitors and the monitor
 //!   table used by lock inflation;
 //! * [`events`] — asynchronous validation events (the JVM's GC-check
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod contention;
 pub mod events;
 pub mod fault;
 pub mod fence;

@@ -125,6 +125,10 @@ counters! {
     /// the uncontended-slow-path threshold was met. Zero for every
     /// non-BRAVO lock.
     bias_rebiases,
+    /// Back-off waits taken by the history-keyed contention manager on
+    /// the slow write / retry-exhausted fallback path (arXiv 1305.5800).
+    /// Zero while every probe succeeds without waiting.
+    contention_backoffs,
 }
 
 impl StatsSnapshot {

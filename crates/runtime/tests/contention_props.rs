@@ -1,0 +1,163 @@
+//! Property tests for the history-keyed contention manager
+//! (arXiv 1305.5800): the back-off it produces must be bounded,
+//! forgetful, and — because the jitter stream is TestRng-derived —
+//! perfectly reproducible.
+
+use solero_runtime::contention::{BackoffState, ContentionConfig};
+use solero_runtime::spin::Probe;
+use solero_testkit::{forall, TestRng};
+
+fn gen_config(rng: &mut TestRng) -> ContentionConfig {
+    ContentionConfig {
+        attempts: rng.gen_range(1u32..=16),
+        base: rng.gen_range(0u32..=1024),
+        shift_cap: rng.gen_range(0u32..=10),
+        cap: rng.gen_range(0u32..=8192),
+        decay_after: rng.gen_range(1u32..=8),
+        yield_threshold: u32::MAX, // never sleep inside a property
+    }
+}
+
+/// Every delay the manager can emit is strictly bounded by `cap`, and
+/// a non-zero bound jitters within `[bound/2, bound]` — no schedule of
+/// failures can push a wait past the cap.
+#[test]
+fn backoff_never_exceeds_the_cap() {
+    forall(256, 0xC0_47_01, |g| {
+        let cfg = gen_config(g.rng());
+        let mut state = BackoffState::new(g.gen_range(0u64..u64::MAX));
+        for _ in 0..64 {
+            let history = state.history();
+            let bound = cfg.bound_for(history);
+            assert!(bound <= cfg.cap, "bound {bound} > cap {}", cfg.cap);
+            let delay = state.on_failure(&cfg);
+            assert!(delay <= bound, "delay {delay} above bound {bound}");
+            if bound > 0 {
+                assert!(delay >= bound / 2, "delay {delay} below jitter floor of {bound}");
+            } else {
+                assert_eq!(delay, 0);
+            }
+        }
+        // The escalation itself is capped: history deep in the tail
+        // emits the same bound as history at the shift cap.
+        assert_eq!(cfg.bound_for(cfg.shift_cap), cfg.bound_for(u32::MAX));
+    });
+}
+
+/// The bound is monotone in history: more observed failures never make
+/// the manager *less* polite.
+#[test]
+fn escalation_is_monotone() {
+    forall(256, 0xC0_47_02, |g| {
+        let cfg = gen_config(g.rng());
+        let mut prev = cfg.bound_for(0);
+        for h in 1..=cfg.shift_cap + 4 {
+            let next = cfg.bound_for(h);
+            assert!(next >= prev, "bound_for({h}) = {next} < bound_for({}) = {prev}", h - 1);
+            prev = next;
+        }
+    });
+}
+
+/// Success forgets: any accumulated failure history decays back to
+/// zero after `history * decay_after` consecutive successes, and stays
+/// there.
+#[test]
+fn history_decays_to_zero_under_success() {
+    forall(256, 0xC0_47_03, |g| {
+        let cfg = gen_config(g.rng());
+        let mut state = BackoffState::new(g.gen_range(0u64..u64::MAX));
+        let failures = g.gen_range(0u32..=24);
+        for _ in 0..failures {
+            state.on_failure(&cfg);
+        }
+        let accumulated = state.history();
+        assert!(accumulated <= failures);
+        for _ in 0..accumulated.saturating_mul(cfg.decay_after) {
+            state.on_success(&cfg);
+        }
+        assert_eq!(
+            state.history(),
+            0,
+            "history must fully decay after decay_after successes per level"
+        );
+        state.on_success(&cfg);
+        assert_eq!(state.history(), 0, "decay saturates at zero");
+    });
+}
+
+/// Determinism: two managers seeded identically and fed the identical
+/// failure/success script emit byte-identical delay sequences — the
+/// property the pinned-seed CI loop and the bench's reproducibility
+/// rest on.
+#[test]
+fn identical_seeds_give_identical_backoff_sequences() {
+    forall(128, 0xC0_47_04, |g| {
+        let cfg = gen_config(g.rng());
+        let seed = g.gen_range(0u64..u64::MAX);
+        let script: Vec<bool> = (0..48).map(|_| g.gen_range(0u32..4) == 0).collect();
+        let run = |mut state: BackoffState| -> Vec<u32> {
+            script
+                .iter()
+                .map(|&ok| {
+                    if ok {
+                        state.on_success(&cfg);
+                        0
+                    } else {
+                        state.on_failure(&cfg)
+                    }
+                })
+                .collect()
+        };
+        let a = run(BackoffState::new(seed));
+        let b = run(BackoffState::new(seed));
+        assert_eq!(a, b, "same seed + same script must replay exactly");
+    });
+}
+
+/// The driver's attempt accounting: a probe that never succeeds is
+/// probed exactly `attempts` times with exactly `attempts - 1` waits
+/// between them (no trailing wait — the same off-by-one the spin tiers
+/// fixed), and a probe that succeeds ends the loop immediately.
+#[test]
+fn run_observed_accounting() {
+    forall(128, 0xC0_47_05, |g| {
+        let cfg = ContentionConfig {
+            // Keep real spins out of the property loop.
+            base: g.gen_range(0u32..=4),
+            cap: g.gen_range(0u32..=4),
+            ..gen_config(g.rng())
+        };
+        let mut probes = 0u32;
+        let mut waits = 0u32;
+        let out: Option<()> =
+            cfg.run_observed(
+                || {
+                    probes += 1;
+                    Probe::Retry
+                },
+                |_| waits += 1,
+            );
+        assert_eq!(out, None);
+        assert_eq!(probes, cfg.attempts);
+        assert_eq!(waits, cfg.attempts - 1, "no wait after the final probe");
+
+        let succeed_at = g.gen_range(1u32..=cfg.attempts);
+        let mut probes = 0u32;
+        let mut waits = 0u32;
+        let out = cfg.run_observed(
+            || {
+                probes += 1;
+                if probes == succeed_at {
+                    Probe::Done(probes)
+                } else {
+                    Probe::Retry
+                }
+            },
+            |_| waits += 1,
+        );
+        assert_eq!(out, Some(succeed_at));
+        assert_eq!(probes, succeed_at);
+        assert_eq!(waits, succeed_at - 1, "success takes no further wait");
+    });
+}

@@ -123,6 +123,24 @@ SOLERO_MC_SEED=0x5EED5705 SOLERO_MC_BUDGET=20000 RUST_BACKTRACE=0 \
     -- --nocapture --test-threads=1 \
     | grep -E "mc\[|test result"
 
+# Budgeted inline-seqlock pass: the writer-bump/reader-validate
+# handshake drained three ways (exhaustive DFS, DPOR with two readers,
+# DPOR under TSO store buffers) plus both exit-validation mutation
+# kills (their own binary — the mutation switch is process-global),
+# with SOLERO_MC_BUDGET bounding each search. The cap sits above the
+# SC kill's discovery point (~10k executions) but below the
+# weak-memory one (~160k), so the SKIP_EXIT_REREAD kill is re-proven
+# here and the WEAK_EXIT_LOAD one prints its budget-capped skip; the
+# uncapped completeness run already happened in the main mc step
+# above.
+echo "== tier-1: mc inline seqlock handshake + kills (budgeted) =="
+SOLERO_MC_SEED=0x5EED5E01 SOLERO_MC_BUDGET=20000 RUST_BACKTRACE=0 \
+    RUSTFLAGS="--cfg solero_mc" CARGO_TARGET_DIR=target/mc \
+    cargo test -q --offline -p solero-mc \
+    --test seqlock_mc --test seqlock_kill \
+    -- --nocapture --test-threads=1 \
+    | grep -E "mc\[|killed|test result"
+
 # Replay the concurrency stress and property suites under a pinned seed
 # matrix: different roots exercise different schedules/cases, and every
 # one of them is reproducible by exporting the printed seed.
@@ -135,7 +153,8 @@ for seed in "${PINNED_SEEDS[@]}"; do
         --test fallback_starvation \
         --test adaptive_policy_stress \
         --test bravo_reader_scaling \
-        --test store_snapshot_stress
+        --test store_snapshot_stress \
+        --test fallback_storm_stress
     SOLERO_TESTKIT_SEED="${seed}" cargo test -q --offline \
         -p solero \
         -p solero-runtime \
@@ -148,7 +167,8 @@ for seed in "${PINNED_SEEDS[@]}"; do
         --test word_props \
         --test model_based \
         --test random_programs \
-        --test adaptive_policy_props
+        --test adaptive_policy_props \
+        --test contention_props
 done
 
 # The adaptive trajectory bench must keep producing a well-formed
@@ -174,5 +194,14 @@ echo "== tier-1: store open-loop sweep smoke (quick) =="
 cargo run -q --offline -p solero-bench --bin bench_store -- \
     --quick --out results/BENCH_store_quick.json 2> /dev/null
 test -s results/BENCH_store_quick.json
+
+# And the inline-seqlock deltas (full-size run is checked in as
+# BENCH_seqlock.json): the quick run proves the bin still sweeps the
+# inline/heap read cells and both storm policies and emits a
+# well-formed document.
+echo "== tier-1: seqlock inline + fallback storm smoke (quick) =="
+cargo run -q --offline -p solero-bench --bin bench_seqlock -- \
+    --quick --out results/BENCH_seqlock_quick.json 2> /dev/null
+test -s results/BENCH_seqlock_quick.json
 
 echo "== tier-1 green =="

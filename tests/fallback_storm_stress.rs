@@ -1,0 +1,135 @@
+//! Fallback-storm stress for the inline seqlock and its contention
+//! manager (tentpole of the inline-fast-path issue).
+//!
+//! The scenario the naive fixed-cadence spin collapsed under: every
+//! thread is both a writer (CAS-competing on the sequence word) and a
+//! reader whose speculation the other writers keep invalidating, so
+//! the retry-exhausted fallback and the slow write path — the two
+//! paths routed through the history-keyed contention manager — carry
+//! essentially all the traffic. The testkit watchdog turns a livelock
+//! into an abort, so *completion itself* is the starvation-freedom
+//! assertion; on top of that the abort taxonomy must balance and the
+//! manager must leave its fingerprints (back-off waits observed, and
+//! per-thread failure history decayed once the storm ends).
+//!
+//! Seeds are pinned: scripts/ci.sh replays this test under the
+//! SOLERO_TESTKIT_SEED matrix, and `seed_override` makes any failure
+//! reproducible byte-for-byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use solero::{SeqLock, SoleroConfig};
+use solero_runtime::contention::{thread_history, ContentionConfig};
+use solero_testkit::{seed_override, stress, StressConfig};
+
+const THREADS: usize = 6;
+const OPS: usize = 2_000;
+
+/// A tiny contention config so the storm actually exhausts attempt
+/// budgets (exercising the re-entry loop) instead of hiding inside one
+/// long managed probe sequence.
+fn storm_config() -> ContentionConfig {
+    ContentionConfig {
+        attempts: 4,
+        base: 8,
+        shift_cap: 4,
+        cap: 256,
+        decay_after: 2,
+        yield_threshold: 64,
+    }
+}
+
+/// Every thread alternates torn-pair-sensitive reads with writes that
+/// keep the pair coupled; nobody may starve and the books must balance.
+#[test]
+fn fallback_storm_sustains_progress() {
+    let lock = SeqLock::with_config(
+        SoleroConfig::builder().contention(storm_config()).build(),
+        [0u64; 2],
+    );
+    let completed = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    let reads = AtomicU64::new(0);
+
+    stress(
+        "seqlock-fallback-storm",
+        &StressConfig::new(THREADS, 1, seed_override(0x5704_4A11)),
+        |w| {
+            let mut my_writes = 0u64;
+            let mut my_reads = 0u64;
+            for _ in 0..OPS {
+                if w.rng.gen_range(0u32..4) == 0 {
+                    lock.update_inline(|v| {
+                        v[0] += 1;
+                        v[1] += 1;
+                    });
+                    my_writes += 1;
+                } else {
+                    let [a, b] = lock.read_inline();
+                    assert_eq!(a, b, "storm read observed a torn pair");
+                    my_reads += 1;
+                }
+            }
+            writes.fetch_add(my_writes, Ordering::Relaxed);
+            reads.fetch_add(my_reads, Ordering::Relaxed);
+            completed.fetch_add(1, Ordering::Relaxed);
+            // The storm is over for this thread: a handful of
+            // uncontended successes must decay its failure history —
+            // the "success forgets" half of arXiv 1305.5800.
+            for _ in 0..64 {
+                lock.update_inline(|v| {
+                    v[0] += 1;
+                    v[1] += 1;
+                });
+            }
+        },
+    );
+
+    assert_eq!(
+        completed.load(Ordering::Relaxed),
+        THREADS as u64,
+        "every thread survived the storm (watchdog would abort a livelock)"
+    );
+    let total_writes = writes.load(Ordering::Relaxed) + (THREADS * 64) as u64;
+    assert_eq!(
+        lock.read_inline(),
+        [total_writes, total_writes],
+        "every write landed exactly once"
+    );
+    let s = lock.stats().snapshot();
+    assert_eq!(s.write_enters, total_writes, "{s:?}");
+    // +1 for the verification read above.
+    assert_eq!(s.read_enters, reads.load(Ordering::Relaxed) + 1, "{s:?}");
+    assert_eq!(s.read_aborts, s.abort_reason_sum(), "taxonomy balances: {s:?}");
+    assert_eq!(
+        s.fallback_acquires, s.abort_retry_exhausted,
+        "every fallback is booked exactly once: {s:?}"
+    );
+    assert_eq!(
+        s.elision_success + s.fallback_acquires,
+        s.read_enters,
+        "every typed read completes exactly one way: {s:?}"
+    );
+    assert_eq!(lock.raw_seq() & 1, 0, "the storm must end released");
+    // This (main) thread ran the verification read only; its history
+    // must be clean either way — the observability hook works.
+    let _ = thread_history();
+}
+
+/// The decay coda, deterministic and single-threaded: a thread that
+/// accumulated history under contention sheds it through uncontended
+/// successes, so the next storm starts from a polite cadence.
+#[test]
+fn history_decays_after_the_storm() {
+    let cfg = storm_config();
+    let mut state = solero_runtime::contention::BackoffState::new(seed_override(0x5704_4A12));
+    for _ in 0..10 {
+        state.on_failure(&cfg);
+    }
+    let peak = state.history();
+    assert!(peak > 0);
+    for _ in 0..peak * cfg.decay_after {
+        state.on_success(&cfg);
+    }
+    assert_eq!(state.history(), 0, "success must fully decay the history");
+}
