@@ -1,0 +1,353 @@
+//! `bench_compact` — the footprint claim of the compact-monitor issue,
+//! emitted as `BENCH_compact.json`.
+//!
+//! ```text
+//! bench_compact [--quick] [--out PATH]
+//! ```
+//!
+//! **Footprint sweep** — a heap full of two-slot objects whose slot 0
+//! *is* the lock: the compact scheme's entire per-object cost is that
+//! one eight-byte word, with the config, statistics and abort history
+//! amortised across the shared [`CompactSpace`] and every inflated
+//! structure living in the global monitor table only while it is
+//! needed. The sweep locks and elides on every object, drives a slice
+//! of them through a full inflate → deflate cycle, and then *asserts*
+//! the claim: side bytes per object (space + residual table entries)
+//! must stay under one byte, and the monitor table must drain back to
+//! its starting size once the heap is quiescent. The baseline is
+//! `size_of::<SoleroLock>()` — the standalone lock carries its word,
+//! the displaced-counter cell, a config copy, the full stats block and
+//! the abort history inline, per lock.
+//!
+//! **Hot-object sweep** — a fixed budget of validated pair-reads on one
+//! object, 1 and 4 threads, compact elision vs the standalone
+//! `SoleroLock` over the same heap: the compact protocol keeps the
+//! counter inside the word, so this measures what the table-backed
+//! design costs (or doesn't) on the elided fast path.
+
+use std::path::PathBuf;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use solero::{CompactSpace, Fault, SoleroLock};
+use solero_heap::{ClassId, Heap};
+use solero_runtime::osmonitor::MonitorTable;
+use solero_runtime::thread::ThreadId;
+
+const NODE: ClassId = ClassId::new(77);
+/// Slots per object: the compact lock word plus two payload words.
+const SLOTS: u32 = 3;
+/// Every `INFLATE_STRIDE`-th object runs a full inflate → deflate
+/// cycle during the footprint sweep.
+const INFLATE_STRIDE: usize = 256;
+/// Comfortably past `SOLERO_RECURSION_MAX` (31): recursion saturation
+/// inflates deterministically on one thread.
+const NEST_DEPTH: usize = 40;
+const READ_THREADS: [usize; 2] = [1, 4];
+
+struct Cell {
+    label: &'static str,
+    threads: usize,
+    ops: u64,
+    secs: f64,
+    elision_success: u64,
+    fallback_acquires: u64,
+}
+
+impl Cell {
+    fn ns_per_op(&self) -> f64 {
+        self.secs * 1e9 / self.ops as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"threads\":{},\"ops\":{},\"secs\":{:.6},\
+             \"ns_per_op\":{:.2},\"elision_success\":{},\"fallback_acquires\":{}}}",
+            self.label,
+            self.threads,
+            self.ops,
+            self.secs,
+            self.ns_per_op(),
+            self.elision_success,
+            self.fallback_acquires
+        )
+    }
+}
+
+/// Barrier-started timing shared by every cell (same shape as
+/// `bench_seqlock`): the clock can only overestimate, never undercount.
+fn timed(threads: usize, body: impl Fn(usize) + Sync) -> f64 {
+    let start = Barrier::new(threads + 1);
+    let t0 = std::thread::scope(|s| {
+        for id in 0..threads {
+            let (start, body) = (&start, &body);
+            s.spawn(move || {
+                start.wait();
+                body(id);
+            });
+        }
+        let t0 = Instant::now();
+        start.wait();
+        t0
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+struct Footprint {
+    objects: usize,
+    inflate_cycles: u64,
+    table_before: usize,
+    table_after: usize,
+    compact_word_bytes: usize,
+    compact_side_bytes_per_object: f64,
+    solero_bytes_per_lock: usize,
+    inflations: u64,
+    deflations: u64,
+}
+
+/// The footprint sweep: every object gets a write section and a
+/// validated elided read through its in-slot word; every
+/// `INFLATE_STRIDE`-th additionally runs a recursion-saturated
+/// inflate → deflate cycle. Asserts the two halves of the claim.
+fn run_footprint(objects: usize) -> Footprint {
+    let table = MonitorTable::global();
+    let table_before = table.len();
+    let heap = Heap::new(objects * (1 + SLOTS as usize) + 8);
+    let space = CompactSpace::new();
+    let tid = ThreadId::current();
+
+    let mut refs = Vec::with_capacity(objects);
+    for _ in 0..objects {
+        refs.push(heap.alloc(NODE, SLOTS).expect("sized for the sweep"));
+    }
+
+    let mut inflate_cycles = 0u64;
+    for (i, &obj) in refs.iter().enumerate() {
+        let key = heap.lock_key(obj, 0).expect("slot 0 is the lock word");
+        let word = heap.slot_atomic(obj, 0).expect("slot 0 is the lock word");
+        let r = space.lock(word, key);
+        r.write(|| {
+            heap.store_plain(obj, 1, i as u64).unwrap();
+            heap.store_plain(obj, 2, i as u64).unwrap();
+        });
+        let (a, b) = r
+            .read_only(|| {
+                Ok::<_, Fault>((
+                    heap.load_plain(obj, NODE, 1)?,
+                    heap.load_plain(obj, NODE, 2)?,
+                ))
+            })
+            .expect("pure reads cannot genuinely fault");
+        assert_eq!(a, b, "torn footprint read");
+        if i % INFLATE_STRIDE == 0 {
+            // Drive this object's word fat and back: the monitor entry
+            // must exist only between the inflate and the deflate.
+            for _ in 0..NEST_DEPTH {
+                r.enter_write(tid);
+            }
+            assert!(r.is_inflated(), "recursion saturation must inflate");
+            for _ in 0..NEST_DEPTH {
+                r.exit_write(tid);
+            }
+            assert!(!r.is_inflated(), "final exit deflates");
+            assert!(!r.monitor_resident(), "deflation prunes the entry");
+            inflate_cycles += 1;
+        }
+    }
+
+    let table_after = table.len();
+    assert!(
+        table_after <= table_before,
+        "monitor table must drain once the heap is quiescent: \
+         {table_before} -> {table_after}"
+    );
+    // Side bytes: everything the compact scheme needs beyond the
+    // in-object word — one shared space per heap plus whatever the
+    // table still holds (one shard map entry per residual monitor,
+    // conservatively costed at a cache line each).
+    let residual = table_after.saturating_sub(table_before);
+    let side = (std::mem::size_of::<CompactSpace>() + residual * 64) as f64
+        / objects as f64;
+    assert!(
+        side < 1.0,
+        "compact side footprint must stay near zero: {side:.4} bytes/object"
+    );
+
+    let s = space.stats().snapshot();
+    assert!(s.inflations >= inflate_cycles, "{s:?}");
+    assert!(s.deflations <= s.inflations, "{s:?}");
+    Footprint {
+        objects,
+        inflate_cycles,
+        table_before,
+        table_after,
+        compact_word_bytes: std::mem::size_of::<u64>(),
+        compact_side_bytes_per_object: side,
+        solero_bytes_per_lock: std::mem::size_of::<SoleroLock>(),
+        inflations: s.inflations,
+        deflations: s.deflations,
+    }
+}
+
+/// Hot-object compact cell: validated pair-reads through one in-slot
+/// word, elided by the compact protocol.
+fn run_compact_reads(threads: usize, total: u64) -> Cell {
+    let heap = Heap::new(64);
+    let space = CompactSpace::new();
+    let obj = heap.alloc(NODE, SLOTS).expect("bench heap is large enough");
+    heap.store_plain(obj, 1, 7).unwrap();
+    heap.store_plain(obj, 2, 7).unwrap();
+    let key = heap.lock_key(obj, 0).unwrap();
+    let word = heap.slot_atomic(obj, 0).unwrap();
+    let per = total / threads as u64;
+    let secs = timed(threads, |_| {
+        let r = space.lock(word, key);
+        for _ in 0..per {
+            let pair = r
+                .read_only(|| {
+                    Ok::<_, Fault>((
+                        heap.load_plain(obj, NODE, 1)?,
+                        heap.load_plain(obj, NODE, 2)?,
+                    ))
+                })
+                .expect("no genuine faults in the read sweep");
+            std::hint::black_box(pair);
+        }
+    });
+    let s = space.stats().snapshot();
+    assert_eq!(s.read_enters, per * threads as u64, "lost compact reads");
+    Cell {
+        label: "compact",
+        threads,
+        ops: per * threads as u64,
+        secs,
+        elision_success: s.elision_success,
+        fallback_acquires: s.fallback_acquires,
+    }
+}
+
+/// Baseline cell: the same pair behind a standalone `SoleroLock`.
+fn run_solero_reads(threads: usize, total: u64) -> Cell {
+    let heap = Heap::new(64);
+    let lock = SoleroLock::new();
+    let obj = heap.alloc(NODE, SLOTS).expect("bench heap is large enough");
+    heap.store_plain(obj, 1, 7).unwrap();
+    heap.store_plain(obj, 2, 7).unwrap();
+    let per = total / threads as u64;
+    let secs = timed(threads, |_| {
+        for _ in 0..per {
+            let pair = lock
+                .read_only(|_| {
+                    Ok::<_, Fault>((
+                        heap.load_plain(obj, NODE, 1)?,
+                        heap.load_plain(obj, NODE, 2)?,
+                    ))
+                })
+                .expect("no genuine faults in the read sweep");
+            std::hint::black_box(pair);
+        }
+    });
+    let s = lock.stats().snapshot();
+    assert_eq!(s.read_enters, per * threads as u64, "lost solero reads");
+    Cell {
+        label: "solero",
+        threads,
+        ops: per * threads as u64,
+        secs,
+        elision_success: s.elision_success,
+        fallback_acquires: s.fallback_acquires,
+    }
+}
+
+fn best(repeats: usize, run: impl Fn() -> Cell) -> Cell {
+    (0..repeats)
+        .map(|_| run())
+        .min_by(|a, b| a.secs.total_cmp(&b.secs))
+        .expect("at least one repeat")
+}
+
+fn cells_json(cells: &[Cell]) -> String {
+    cells.iter().map(Cell::to_json).collect::<Vec<_>>().join(",\n      ")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_compact.json"));
+    let objects: usize = if quick { 50_000 } else { 2_000_000 };
+    let reads: u64 = if quick { 4 * 4_000 } else { 4 * 200_000 };
+    let repeats = if quick { 1 } else { 5 };
+
+    eprintln!(
+        "bench_compact: {objects} objects in the footprint sweep \
+         (inflate every {INFLATE_STRIDE}th), {reads} reads per hot cell \
+         (threads {READ_THREADS:?}), best of {repeats}"
+    );
+
+    let fp = run_footprint(objects);
+    eprintln!(
+        "  [footprint] word {} B + {:.4} side B/object (SoleroLock {} B); \
+         {} inflate cycles, table {} -> {}",
+        fp.compact_word_bytes,
+        fp.compact_side_bytes_per_object,
+        fp.solero_bytes_per_lock,
+        fp.inflate_cycles,
+        fp.table_before,
+        fp.table_after
+    );
+
+    // Warm both contenders untimed (first-touch costs; quick mode has
+    // no repeats to trim them).
+    std::hint::black_box(run_compact_reads(1, 4_000));
+    std::hint::black_box(run_solero_reads(1, 4_000));
+
+    let mut cells = Vec::new();
+    for &threads in &READ_THREADS {
+        let compact = best(repeats, || run_compact_reads(threads, reads));
+        let solero = best(repeats, || run_solero_reads(threads, reads));
+        eprintln!(
+            "  [reads] {threads} threads: compact {:>8.2} ns/op, solero {:>8.2} ns/op ({:.2}x)",
+            compact.ns_per_op(),
+            solero.ns_per_op(),
+            compact.ns_per_op() / solero.ns_per_op()
+        );
+        cells.push(compact);
+        cells.push(solero);
+    }
+    let hot_ratio = cells[0].ns_per_op() / cells[1].ns_per_op();
+
+    // Assembled by hand like the other BENCH_* documents: flat objects
+    // only, `solero_obs::json` re-parseable.
+    let doc = format!(
+        "{{\n  \"workload\": \"compact-monitor-footprint\",\n  \
+         \"objects\": {},\n  \
+         \"inflate_cycles\": {},\n  \
+         \"compact_word_bytes\": {},\n  \
+         \"compact_side_bytes_per_object\": {:.6},\n  \
+         \"solero_bytes_per_lock\": {},\n  \
+         \"table_before\": {},\n  \
+         \"table_after\": {},\n  \
+         \"inflations\": {},\n  \
+         \"deflations\": {},\n  \
+         \"compact_vs_solero_hot_read\": {hot_ratio:.4},\n  \
+         \"read_cells\": [\n      {}\n  ]\n}}\n",
+        fp.objects,
+        fp.inflate_cycles,
+        fp.compact_word_bytes,
+        fp.compact_side_bytes_per_object,
+        fp.solero_bytes_per_lock,
+        fp.table_before,
+        fp.table_after,
+        fp.inflations,
+        fp.deflations,
+        cells_json(&cells),
+    );
+    std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+    eprintln!("wrote {}", out.display());
+}

@@ -47,6 +47,11 @@
 //! * [`ReadSession`] / [`MostlySession`] / [`Checkpoint`] /
 //!   [`WriteIntent`] — contexts handed to critical-section closures,
 //!   carrying validation check-points and the in-place upgrade;
+//! * [`CompactSpace`] / [`CompactLock`] / [`CompactRef`] — Compact Java
+//!   Monitors over the SOLERO protocol: an eight-byte per-object lock
+//!   word whose elision counter rides *inside* the held word, with all
+//!   inflated state in the global generation-keyed monitor table —
+//!   per-object footprint for millions-of-objects heaps;
 //! * [`SeqLock`] / [`SeqStrategy`] — the inline-data seqlock fast path
 //!   for small `Copy` read-mostly payloads: the payload lives beside
 //!   the sequence word (one cache line, no heap indirection), readers
@@ -74,6 +79,7 @@
 #![warn(missing_debug_implementations)]
 
 mod adaptive;
+mod compact;
 mod config;
 mod dynstrategy;
 mod lock;
@@ -85,6 +91,7 @@ mod session;
 mod strategy;
 
 pub use adaptive::{AdaptiveBudgets, AdaptivePolicy, EntryDecision, PolicyProbe};
+pub use compact::{CompactLock, CompactRef, CompactSpace};
 pub use config::{ElisionMode, SoleroConfig, SoleroConfigBuilder};
 pub use dynstrategy::{BoxedStrategy, DynSyncStrategy};
 pub use lock::{SoleroLock, SoleroWriteGuard, WriteTicket};

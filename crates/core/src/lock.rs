@@ -18,7 +18,7 @@ use std::time::Duration;
 use solero_sync::atomic::{AtomicU64, Ordering};
 
 use solero_obs::{AbortReason, EventKind, LockEvent, RecentAborts};
-use solero_runtime::osmonitor::{MonitorTable, OsMonitor};
+use solero_runtime::osmonitor::{next_lock_gen, MonitorKey, MonitorTable, OsMonitor};
 use solero_runtime::spin::Probe;
 use solero_runtime::stats::LockStats;
 use solero_runtime::thread::ThreadId;
@@ -73,6 +73,11 @@ pub struct SoleroLock {
     pub(crate) recent: RecentAborts,
     /// The adaptive elision policy, present iff `config.adaptive` is.
     pub(crate) policy: Option<AdaptivePolicy>,
+    /// Process-unique generation nonce drawn at construction; paired
+    /// with the word address to form the monitor-table key, so a lock
+    /// later allocated at this address can never adopt this lock's
+    /// monitor (or its stale displaced counter).
+    pub(crate) gen: u64,
 }
 
 impl Default for SoleroLock {
@@ -118,6 +123,7 @@ impl SoleroLock {
             stats: LockStats::default(),
             recent: RecentAborts::new(),
             policy: config.adaptive.map(AdaptivePolicy::new),
+            gen: next_lock_gen(),
         }
     }
 
@@ -159,7 +165,10 @@ impl SoleroLock {
     pub fn is_locked(&self) -> bool {
         let w = self.raw_word();
         if w.is_inflated() {
-            self.monitor().is_owned()
+            // Lookup-only: an absent entry means a deflation is mid-
+            // publish — the thin word is about to appear, and a fresh
+            // monitor would be unowned anyway.
+            self.monitor_existing().is_some_and(|m| m.is_owned())
         } else {
             w.is_held_flat()
         }
@@ -169,7 +178,7 @@ impl SoleroLock {
     pub fn holds(&self, tid: ThreadId) -> bool {
         let w = self.raw_word();
         if w.is_inflated() {
-            self.monitor().owned_by(tid)
+            self.monitor_existing().is_some_and(|m| m.owned_by(tid))
         } else {
             w.tid() == Some(tid)
         }
@@ -200,14 +209,24 @@ impl SoleroLock {
         }
     }
 
-    pub(crate) fn monitor_key(&self) -> usize {
-        &self.word as *const _ as usize
+    /// Identity of this lock in the global [`MonitorTable`]: the word's
+    /// address plus the construction-time generation nonce. Public so
+    /// table-hygiene tests can observe residency per lock.
+    pub fn monitor_key(&self) -> MonitorKey {
+        MonitorKey::new(&self.word as *const _ as usize, self.gen)
+    }
+
+    /// True if the global monitor table currently holds an entry for
+    /// this lock. Quiescent locks must read `false` — an entry exists
+    /// only while inflated (plus narrow race windows).
+    pub fn monitor_resident(&self) -> bool {
+        MonitorTable::global().existing(self.monitor_key()).is_some()
     }
 
     /// Stable lock identity for observability events.
     #[inline]
     pub(crate) fn obs_id(&self) -> u64 {
-        self.monitor_key() as u64
+        self.monitor_key().addr as u64
     }
 
     /// Classifies one aborted speculative read attempt: bumps the
@@ -249,8 +268,19 @@ impl SoleroLock {
         }
     }
 
+    /// Get-or-create monitor resolution. Only paths that already hold
+    /// the lock (inflation of a held word, wait re-entry) may call
+    /// this: while held thin no deflation can race, so creating an
+    /// entry here can never resurrect one a deflater just pruned.
     pub(crate) fn monitor(&self) -> Arc<OsMonitor> {
         MonitorTable::global().monitor_for(self.monitor_key())
+    }
+
+    /// Lookup-only monitor resolution for reactive paths (observers,
+    /// contenders, FLC releases). `None` means the lock is not
+    /// inflated — the caller must fall back to the word.
+    pub(crate) fn monitor_existing(&self) -> Option<Arc<OsMonitor>> {
+        MonitorTable::global().existing(self.monitor_key())
     }
 
     /// Acquires the lock for a writing critical section (Figure 6,
@@ -315,7 +345,11 @@ impl SoleroLock {
             assert_eq!(v.tid(), Some(tid), "wait without holding the lock");
             self.inflate_held(tid, v);
         }
-        let m = self.monitor();
+        // The entry must exist: either we just inflated, or the word was
+        // already inflated and we hold it fat (which blocks deflation).
+        let m = self
+            .monitor_existing()
+            .expect("wait without holding the lock");
         assert!(m.owned_by(tid), "wait without holding the lock");
         m.wait(tid);
     }
@@ -327,7 +361,12 @@ impl SoleroLock {
     /// Panics if `tid` does not hold the lock.
     pub fn notify_all(&self, tid: ThreadId) {
         assert!(self.holds(tid), "notify without holding the lock");
-        self.monitor().notify_all();
+        // Waiters exist only while inflated, so an absent entry means
+        // an empty wait set: notify on a thin lock is a no-op and must
+        // not plant a table entry.
+        if let Some(m) = self.monitor_existing() {
+            m.notify_all();
+        }
     }
 
     /// Java-style `Object.notify()`. The caller must hold the lock.
@@ -337,7 +376,9 @@ impl SoleroLock {
     /// Panics if `tid` does not hold the lock.
     pub fn notify_one(&self, tid: ThreadId) {
         assert!(self.holds(tid), "notify without holding the lock");
-        self.monitor().notify_one();
+        if let Some(m) = self.monitor_existing() {
+            m.notify_one();
+        }
     }
 
     /// Slow write acquisition: recursion, spinning, FLC, fat mode.
@@ -428,13 +469,19 @@ impl SoleroLock {
         }
     }
 
-    /// Fat-mode entry: take the monitor, then confirm the lock is still
-    /// inflated. Returns `false` if the caller must retry from the top.
+    /// Fat-mode entry: resolve the tabled monitor, take it, then confirm
+    /// the word still names *that* monitor. Returns `false` if the
+    /// caller must retry from the top (the lock deflated, or a
+    /// re-inflation bound a different monitor while we blocked).
     pub(crate) fn enter_fat(&self, tid: ThreadId) -> bool {
-        let m = self.monitor();
+        let Some(m) = self.monitor_existing() else {
+            // Inflated word but no entry: a deflater pruned the binding
+            // and is about to publish the thin word. Retry.
+            return false;
+        };
         m.enter(tid);
         let v = SoleroWord(self.word.load(Ordering::Acquire));
-        if v.is_inflated() {
+        if v.monitor_id() == Some(m.id()) {
             self.stats.monitor_enters.fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -448,17 +495,41 @@ impl SoleroLock {
     /// stored in the monitor is the pre-inflation counter plus one step,
     /// so a later deflation publishes a value no speculative reader can
     /// still match.
+    ///
+    /// Returns `false` if the binding went stale (the lock deflated and
+    /// pruned the entry we resolved); the caller retries from the word.
+    /// Every iteration re-checks the binding: owning `m` pins it
+    /// (removal requires ownership), so a current binding cannot change
+    /// under us, and a monitor id in the word is only trusted when it
+    /// matches the monitor we own.
     pub(crate) fn enter_via_monitor(&self, tid: ThreadId) -> bool {
-        let m = self.monitor();
+        let key = self.monitor_key();
+        let table = MonitorTable::global();
+        let m = table.monitor_for(key);
         m.enter(tid);
         loop {
+            if !table.is_current(key, &m) {
+                // Deflated (and pruned) while we blocked on entry, or
+                // re-inflated onto a fresh monitor: this monitor is an
+                // orphan. Release it and retry from the word.
+                m.exit(tid);
+                return false;
+            }
             let v = SoleroWord(self.word.load(Ordering::Acquire));
             if v.is_inflated() {
-                self.stats.monitor_enters.fetch_add(1, Ordering::Relaxed);
-                return true;
+                if v.monitor_id() == Some(m.id()) {
+                    self.stats.monitor_enters.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                // A stale inflated word from a binding this monitor
+                // never had; retry from the top.
+                m.exit(tid);
+                return false;
             }
             if !v.is_held_flat() {
                 // Free counter word (FLC bit possibly set): inflate.
+                // The binding check above ran while owning `m`, so the
+                // table still maps our key to `m` at this CAS.
                 let displaced = (v.raw() & !FLC_BIT).wrapping_add(COUNTER_STEP);
                 if self
                     .word
@@ -521,9 +592,11 @@ impl SoleroLock {
         if v.is_inflated() {
             // Every fat-mode *writing* release advances the displaced
             // counter so deflation never republishes a captured value.
-            let m = self.monitor();
+            let m = self
+                .monitor_existing()
+                .expect("fat owner's monitor must be tabled");
             debug_assert!(m.owned_by(tid), "fat release by non-owner");
-            m.bump_displaced();
+            m.bump_displaced(COUNTER_STEP);
             self.exit_fat(tid);
             return;
         }
@@ -533,14 +606,24 @@ impl SoleroLock {
             return;
         }
         // FLC set while we held the lock: release under the monitor and
-        // wake the contenders.
+        // wake the contenders. Lookup-only — the contender that set the
+        // bit tabled the entry and is parked on it; if the entry is
+        // somehow gone there is nobody to wake and a plain store
+        // suffices (creating an entry here would leak it).
         debug_assert!(v.has_flc());
-        let m = self.monitor();
-        m.enter(tid);
-        self.word
-            .store(self.release_word(ticket.v1), Ordering::Release);
-        m.notify_all();
-        m.exit(tid);
+        match self.monitor_existing() {
+            Some(m) => {
+                m.enter(tid);
+                self.word
+                    .store(self.release_word(ticket.v1), Ordering::Release);
+                m.notify_all();
+                m.exit(tid);
+            }
+            None => {
+                self.word
+                    .store(self.release_word(ticket.v1), Ordering::Release);
+            }
+        }
     }
 
     /// Figure 6, line 18: the word a flat write release publishes —
@@ -558,12 +641,28 @@ impl SoleroLock {
         v1.wrapping_add(COUNTER_STEP)
     }
 
-    /// Final fat release: deflates (publishing the displaced counter)
-    /// when the monitor is uncontended.
+    /// Final fat release: deflates when the monitor is uncontended —
+    /// prune the table entry **first**, then publish the displaced
+    /// counter, then wake and exit.
+    ///
+    /// The ordering matters: once the entry is gone, a contender that
+    /// still sees the inflated word resolves no monitor and retries,
+    /// and any re-inflation must mint a fresh entry (new monitor, new
+    /// id) that a stale deflater's `remove_if` can never sweep. The
+    /// window where the word is inflated but the entry absent is
+    /// therefore benign. The deflation guard itself is TOCTOU-safe:
+    /// queued contenders re-check the word after our monitor exit, and
+    /// new waiters are impossible while we own the monitor.
     pub(crate) fn exit_fat(&self, tid: ThreadId) {
-        let m = self.monitor();
+        let key = self.monitor_key();
+        let table = MonitorTable::global();
+        let m = table
+            .existing(key)
+            .expect("fat owner's monitor must be tabled");
         debug_assert!(m.owned_by(tid), "fat release by non-owner");
         if m.depth(tid) == 1 && m.idle_for_deflation() {
+            let removed = table.remove_if(key, &m);
+            debug_assert!(removed, "deflater's binding must still be current");
             self.word.store(m.displaced(), Ordering::Release);
             self.stats.deflations.fetch_add(1, Ordering::Relaxed);
             m.notify_all();
@@ -574,6 +673,10 @@ impl SoleroLock {
 
 impl Drop for SoleroLock {
     fn drop(&mut self) {
+        // Unconditional sweep: normally the deflation path already
+        // pruned the entry, but a lock torn down while inflated (or a
+        // lingering FLC entry from a contender that never inflated)
+        // must not pin its monitor for the process lifetime.
         MonitorTable::global().remove(self.monitor_key());
     }
 }

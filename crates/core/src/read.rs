@@ -378,8 +378,11 @@ impl SoleroLock {
             // Figure 8, INFLATION: acquire the fat lock via the monitor.
             Some(None) | None => {
                 self.note_abort(AbortReason::Inflation);
-                let entered = self.enter_via_monitor(tid);
-                debug_assert!(entered);
+                // A deflate racing us can prune the binding we resolved
+                // (`false`); the next call re-resolves — and if the word
+                // went free in between, inflates it, which is the
+                // contender-finds-free behaviour the protocol wants.
+                while !self.enter_via_monitor(tid) {}
                 (0, true)
             }
         }
@@ -399,26 +402,32 @@ impl SoleroLock {
                 return true;
             }
             // Figure 9, lines 5–8: release the flat lock with v + 0x100
-            // and check the FLC bit.
-            if w.has_flc() {
-                let m = self.monitor();
-                m.enter(tid);
-                self.word
-                    .store(v.wrapping_add(COUNTER_STEP), Ordering::Release);
-                m.notify_all();
-                m.exit(tid);
-            } else {
-                self.word
-                    .store(v.wrapping_add(COUNTER_STEP), Ordering::Release);
+            // and check the FLC bit. Lookup-only: the contender that
+            // set FLC tabled the entry; if it is gone nobody is parked.
+            match (w.has_flc(), self.monitor_existing()) {
+                (true, Some(m)) => {
+                    m.enter(tid);
+                    self.word
+                        .store(v.wrapping_add(COUNTER_STEP), Ordering::Release);
+                    m.notify_all();
+                    m.exit(tid);
+                }
+                _ => {
+                    self.word
+                        .store(v.wrapping_add(COUNTER_STEP), Ordering::Release);
+                }
             }
             return true;
         }
         if w.is_inflated() {
-            // Figure 9, lines 9–11.
-            let m = self.monitor();
-            if m.owned_by(tid) {
-                self.exit_fat(tid);
-                return true;
+            // Figure 9, lines 9–11. Lookup-only: only the current
+            // binding can be owned by us, and while we own it the word
+            // cannot change, so no id re-check is needed here.
+            if let Some(m) = self.monitor_existing() {
+                if m.owned_by(tid) {
+                    self.exit_fat(tid);
+                    return true;
+                }
             }
         }
         // Figure 9, line 13: the lock value changed — re-execute.

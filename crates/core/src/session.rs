@@ -146,7 +146,7 @@ impl<'a> ReadSession<'a> {
                 .mostly_upgrades
                 .fetch_add(1, Ordering::Relaxed);
             solero_obs::emit(|| {
-                LockEvent::now(self.lock.monitor_key() as u64, EventKind::MostlyUpgrade)
+                LockEvent::now(self.lock.obs_id(), EventKind::MostlyUpgrade)
             });
             self.held = true;
             return Ok(());

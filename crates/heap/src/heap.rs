@@ -18,6 +18,7 @@ use solero_sync::{Mutex, MutexGuard};
 use std::sync::PoisonError;
 
 use solero_runtime::fault::Fault;
+use solero_runtime::osmonitor::MonitorKey;
 
 /// Poison-tolerant lock on the free-list map: it only caches recyclable
 /// regions, so state observed across a panicking allocator thread is
@@ -369,6 +370,53 @@ impl Heap {
         Ok(())
     }
 
+    /// Borrows slot `idx` of the live object `r` as a raw atomic word —
+    /// the storage for an **in-object compact lock word** (see
+    /// `solero::CompactSpace::lock`). The reference stays valid for the
+    /// heap's lifetime; it is the caller's job (the compact-lock layer,
+    /// keyed by [`Heap::lock_key`]) not to interpret it after the object
+    /// is freed and its storage recycled.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::NullPointer`], [`Fault::StaleHandle`], or
+    /// [`Fault::IndexOutOfBounds`].
+    #[inline]
+    pub fn slot_atomic(&self, r: ObjRef, idx: u32) -> Result<&AtomicU64, Fault> {
+        let h = self.header(r)?;
+        if idx >= h.len() {
+            return Err(Fault::IndexOutOfBounds {
+                index: idx as i64,
+                len: h.len(),
+            });
+        }
+        Ok(&self.mem[r.0 as usize + 1 + idx as usize])
+    }
+
+    /// The monitor-table identity for a compact lock living in slot
+    /// `idx` of object `r`: the slot's address plus the object's
+    /// **allocation generation**. Freeing the object and recycling its
+    /// storage bumps the generation, so a new object at the same address
+    /// gets a *different* key and can never adopt a stale monitor — the
+    /// address-reuse aliasing fix. (Generations are `u16` and wrap;
+    /// a wrapped collision is benign because monitor claims are checked
+    /// against the word's stored monitor id, never trusted from the
+    /// table alone.)
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::NullPointer`], [`Fault::StaleHandle`], or
+    /// [`Fault::IndexOutOfBounds`].
+    #[inline]
+    pub fn lock_key(&self, r: ObjRef, idx: u32) -> Result<MonitorKey, Fault> {
+        let generation = self.header(r)?.generation();
+        let slot = self.slot_atomic(r, idx)?;
+        Ok(MonitorKey::new(
+            slot as *const AtomicU64 as usize,
+            generation as u64,
+        ))
+    }
+
     /// Walks the whole arena validating that object headers tile it
     /// exactly (every allocation or freed region is accounted for, no
     /// overlaps, all lengths in range). Writers must be quiescent.
@@ -573,6 +621,42 @@ mod tests {
         let r = h.check_integrity().unwrap();
         assert_eq!((r.live, r.freed), (3, 0));
         let _ = (a, c);
+    }
+
+    #[test]
+    fn slot_atomic_exposes_the_slot_storage() {
+        let h = Heap::new(32);
+        let o = h.alloc(A, 2).unwrap();
+        h.store(o, 1, 55).unwrap();
+        let slot = h.slot_atomic(o, 1).unwrap();
+        assert_eq!(slot.load(Ordering::Acquire), 55);
+        slot.store(56, Ordering::Release);
+        assert_eq!(h.load(o, A, 1).unwrap(), 56);
+        assert!(matches!(
+            h.slot_atomic(o, 2),
+            Err(Fault::IndexOutOfBounds { .. })
+        ));
+        assert_eq!(
+            h.slot_atomic(ObjRef::NULL, 0).err(),
+            Some(Fault::NullPointer)
+        );
+    }
+
+    #[test]
+    fn lock_key_carries_generation_and_changes_across_recycling() {
+        let h = Heap::new(32);
+        let o = h.alloc(A, 2).unwrap();
+        let k0 = h.lock_key(o, 0).unwrap();
+        let k1 = h.lock_key(o, 1).unwrap();
+        assert_ne!(k0, k1, "distinct slots get distinct keys");
+        assert!(k0.gen >= 1, "heap keys never use the raw 0 namespace");
+        h.free(o);
+        assert_eq!(h.lock_key(o, 0), Err(Fault::StaleHandle { handle: o.raw() }));
+        let o2 = h.alloc(A, 2).unwrap();
+        assert_eq!(o2.raw(), o.raw(), "same-size free list recycles storage");
+        let k0b = h.lock_key(o2, 0).unwrap();
+        assert_eq!(k0.addr, k0b.addr, "same storage, same slot address");
+        assert_ne!(k0, k0b, "recycling bumps the generation in the key");
     }
 
     #[test]

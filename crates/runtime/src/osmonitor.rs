@@ -6,7 +6,9 @@
 //! maps the object to its monitor. We reproduce that: [`OsMonitor`] is a
 //! reentrant logical monitor built on a mutex and two condition variables
 //! (an entry set and a wait set, as in Java), and [`MonitorTable`] maps a
-//! lock's address to its monitor.
+//! lock's identity — word address **plus allocation generation**
+//! ([`MonitorKey`]) — to its monitor, holding entries only while the
+//! lock is inflated (Compact Java Monitors, arXiv 2102.04188).
 //!
 //! For SOLERO the monitor additionally stores the **displaced counter**:
 //! the sequence value (already incremented) that is written back to the
@@ -285,36 +287,114 @@ impl OsMonitor {
         self.displaced.load(Ordering::Acquire)
     }
 
-    /// Advances the displaced counter by one release step, returning the
-    /// new value. Used when a writing critical section completes while
-    /// the lock is inflated, so that deflation never republishes a value
-    /// a speculative reader might still hold.
-    pub fn bump_displaced(&self) -> u64 {
+    /// Advances the displaced counter by one release step of the
+    /// caller's word layout (`COUNTER_STEP` for [`SoleroWord`],
+    /// `COMPACT_CTR_STEP` for [`CompactWord`]), returning the new value.
+    /// Used when a writing critical section completes while the lock is
+    /// inflated, so that deflation never republishes a value a
+    /// speculative reader might still hold.
+    ///
+    /// [`SoleroWord`]: crate::word::SoleroWord
+    /// [`CompactWord`]: crate::word::CompactWord
+    pub fn bump_displaced(&self, step: u64) -> u64 {
         self.displaced
-            .fetch_add(crate::word::COUNTER_STEP, Ordering::AcqRel)
-            .wrapping_add(crate::word::COUNTER_STEP)
+            .fetch_add(step, Ordering::AcqRel)
+            .wrapping_add(step)
+    }
+}
+
+/// Returns a fresh, never-reused generation nonce for a lock identity.
+///
+/// Monitor-table keys pair an address with a generation so that a lock
+/// allocated at a dropped lock's address can never adopt the old lock's
+/// monitor (and its stale displaced counter). Heap objects use the heap
+/// header's allocation generation; standalone locks draw a nonce from
+/// this process-global counter at construction.
+pub fn next_lock_gen() -> u64 {
+    static NEXT_GEN: StdAtomicU64 = StdAtomicU64::new(1);
+    NEXT_GEN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Identity of a lock in the [`MonitorTable`]: its word address **plus a
+/// generation**, so address reuse across drop/realloc never aliases two
+/// distinct locks onto one monitor.
+///
+/// The generation namespaces are disjoint by construction — embedded
+/// `SoleroLock`s draw a process-unique nonce from [`next_lock_gen`],
+/// heap-resident compact words use the heap's per-slot allocation
+/// generation, and raw compact cells bound without a heap use
+/// generation 0 — and even a cross-namespace collision would be benign:
+/// fat-ownership claims are validated against the monitor *id* stored in
+/// the lock word, never against table membership alone.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MonitorKey {
+    /// Address of the lock word.
+    pub addr: usize,
+    /// Allocation generation of the identity the word belongs to.
+    pub gen: u64,
+}
+
+impl MonitorKey {
+    /// Key for `addr` under generation `gen`.
+    #[inline]
+    pub fn new(addr: usize, gen: u64) -> Self {
+        MonitorKey { addr, gen }
+    }
+
+    /// Key for an address with no generation domain (generation 0) —
+    /// raw compact cells whose storage the caller guarantees outlives
+    /// the table entry.
+    #[inline]
+    pub fn of_addr(addr: usize) -> Self {
+        MonitorKey { addr, gen: 0 }
+    }
+
+    /// SplitMix64 finalizer over both fields — addresses are
+    /// pointer-aligned and generations are sequential, so the shard
+    /// index needs real mixing to spread either dimension.
+    #[inline]
+    fn mix(self) -> u64 {
+        let mut z = (self.addr as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.gen);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 }
 
 const SHARDS: usize = 16;
 
-/// Process-global table mapping a lock's identity (its word address) to
-/// its [`OsMonitor`], like the JVM's monitor cache.
+/// Process-global sharded table mapping a lock's identity
+/// ([`MonitorKey`]: word address + generation) to its [`OsMonitor`],
+/// like the JVM's monitor cache in the Compact Java Monitors design.
+///
+/// Entries exist only while a lock is inflated (plus narrow race
+/// windows): inflation inserts via [`MonitorTable::monitor_for`],
+/// deflation removes via [`MonitorTable::remove_if`] *before* the thin
+/// word is republished, and lock teardown sweeps any leftover via
+/// [`MonitorTable::remove`]. Reactive paths (contenders, observers,
+/// FLC releases) use [`MonitorTable::existing`] so they can never
+/// resurrect an entry the deflater just pruned.
 ///
 /// # Examples
 ///
 /// ```
-/// use solero_runtime::osmonitor::MonitorTable;
+/// use solero_runtime::osmonitor::{MonitorKey, MonitorTable};
 ///
-/// let key = 0xdead_beef_usize;
+/// let key = MonitorKey::new(0xdead_beef, 1);
 /// let m1 = MonitorTable::global().monitor_for(key);
 /// let m2 = MonitorTable::global().monitor_for(key);
 /// assert_eq!(m1.id(), m2.id(), "same key, same monitor");
+/// // A different generation at the same address is a different lock:
+/// let other = MonitorTable::global().monitor_for(MonitorKey::new(0xdead_beef, 2));
+/// assert_ne!(m1.id(), other.id());
 /// MonitorTable::global().remove(key);
+/// MonitorTable::global().remove(MonitorKey::new(0xdead_beef, 2));
 /// ```
 #[derive(Debug)]
 pub struct MonitorTable {
-    shards: Vec<StdMutex<HashMap<usize, Arc<OsMonitor>>>>,
+    shards: Vec<StdMutex<HashMap<MonitorKey, Arc<OsMonitor>>>>,
     next_id: StdAtomicU64,
 }
 
@@ -333,12 +413,21 @@ impl MonitorTable {
     }
 
     #[inline]
-    fn shard(&self, key: usize) -> &StdMutex<HashMap<usize, Arc<OsMonitor>>> {
-        &self.shards[(key >> 4) % SHARDS]
+    fn shard(&self, key: MonitorKey) -> &StdMutex<HashMap<MonitorKey, Arc<OsMonitor>>> {
+        &self.shards[(key.mix() as usize) % SHARDS]
     }
 
     /// Returns the monitor for `key`, creating one on first use.
-    pub fn monitor_for(&self, key: usize) -> Arc<OsMonitor> {
+    ///
+    /// Monitor ids are globally unique and never reused, which is what
+    /// lets inflated lock words carry the id as proof of binding: a
+    /// fresh monitor created after a deflate can never satisfy a claim
+    /// check against a stale inflated word.
+    ///
+    /// Only inflating paths (and wait re-entry, which holds fat
+    /// ownership) may call this; reactive paths use
+    /// [`MonitorTable::existing`].
+    pub fn monitor_for(&self, key: MonitorKey) -> Arc<OsMonitor> {
         let mut g = plock_std(self.shard(key));
         if let Some(m) = g.get(&key) {
             return Arc::clone(m);
@@ -349,9 +438,42 @@ impl MonitorTable {
         m
     }
 
-    /// Drops the association for `key`. Called when a lock is destroyed
-    /// so a future lock at the same address starts fresh.
-    pub fn remove(&self, key: usize) {
+    /// Returns the monitor for `key` only if one is currently tabled.
+    /// The lookup-only counterpart of [`MonitorTable::monitor_for`] for
+    /// reactive paths: a `None` means the lock deflated (retry from the
+    /// word) — creating a monitor here would resurrect a pruned entry.
+    pub fn existing(&self, key: MonitorKey) -> Option<Arc<OsMonitor>> {
+        plock_std(self.shard(key)).get(&key).map(Arc::clone)
+    }
+
+    /// True if `key` is still bound to exactly `m`. Inflators must
+    /// verify this (while owning `m`, which pins the binding — removal
+    /// requires ownership) before CASing `m`'s id into a lock word.
+    pub fn is_current(&self, key: MonitorKey, m: &Arc<OsMonitor>) -> bool {
+        plock_std(self.shard(key))
+            .get(&key)
+            .is_some_and(|cur| Arc::ptr_eq(cur, m))
+    }
+
+    /// Removes the association for `key` only if it is still bound to
+    /// exactly `m`; returns whether an entry was removed. The deflation
+    /// path calls this *before* republishing the thin word so a racing
+    /// re-inflation (which must create a *new* entry) can never have
+    /// its entry swept by a stale deflater.
+    pub fn remove_if(&self, key: MonitorKey, m: &Arc<OsMonitor>) -> bool {
+        let mut g = plock_std(self.shard(key));
+        if g.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, m)) {
+            g.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops the association for `key` unconditionally. Called from
+    /// lock teardown so a future lock reusing the address starts fresh
+    /// even if the final exit lost a removal race.
+    pub fn remove(&self, key: MonitorKey) {
         plock_std(self.shard(key)).remove(&key);
     }
 
@@ -462,14 +584,20 @@ mod tests {
         let m = OsMonitor::new(9);
         m.set_displaced(0x500);
         assert_eq!(m.displaced(), 0x500);
-        assert_eq!(m.bump_displaced(), 0x600);
+        assert_eq!(m.bump_displaced(crate::word::COUNTER_STEP), 0x600);
         assert_eq!(m.displaced(), 0x600);
+        // A compact-layout caller bumps by its own (wider) step.
+        assert_eq!(
+            m.bump_displaced(crate::word::COMPACT_CTR_STEP),
+            0x600 + crate::word::COMPACT_CTR_STEP
+        );
     }
 
     #[test]
     fn table_is_idempotent_per_key() {
         let t = MonitorTable::global();
-        let k = &t as *const _ as usize; // any unique address
+        let addr = &t as *const _ as usize; // any unique address
+        let k = MonitorKey::new(addr, next_lock_gen());
         let a = t.monitor_for(k);
         let b = t.monitor_for(k);
         assert_eq!(a.id(), b.id());
@@ -477,5 +605,61 @@ mod tests {
         let c = t.monitor_for(k);
         assert_ne!(a.id(), c.id(), "fresh monitor after removal");
         t.remove(k);
+    }
+
+    #[test]
+    fn generation_disambiguates_reused_addresses() {
+        let t = MonitorTable::global();
+        let addr = 0x7000_0000_usize;
+        let old = MonitorKey::new(addr, next_lock_gen());
+        let new = MonitorKey::new(addr, next_lock_gen());
+        let stale = t.monitor_for(old); // entry the old lock leaked
+        let fresh = t.monitor_for(new);
+        assert_ne!(
+            stale.id(),
+            fresh.id(),
+            "same address, different generation: distinct monitors"
+        );
+        t.remove(old);
+        t.remove(new);
+    }
+
+    #[test]
+    fn existing_never_creates() {
+        let t = MonitorTable::global();
+        let k = MonitorKey::new(0x7100_0000, next_lock_gen());
+        assert!(t.existing(k).is_none());
+        let m = t.monitor_for(k);
+        let found = t.existing(k).expect("tabled after monitor_for");
+        assert_eq!(found.id(), m.id());
+        t.remove(k);
+        assert!(t.existing(k).is_none(), "existing sees the removal");
+    }
+
+    #[test]
+    fn remove_if_only_removes_the_matching_binding() {
+        let t = MonitorTable::global();
+        let k = MonitorKey::new(0x7200_0000, next_lock_gen());
+        let first = t.monitor_for(k);
+        assert!(t.is_current(k, &first));
+        assert!(t.remove_if(k, &first), "matching binding removed");
+        assert!(!t.remove_if(k, &first), "second removal is a no-op");
+        // A successor monitor at the same key is a different binding:
+        // the stale Arc must neither pass is_current nor remove it.
+        let second = t.monitor_for(k);
+        assert!(!t.is_current(k, &first));
+        assert!(t.is_current(k, &second));
+        assert!(!t.remove_if(k, &first), "stale deflater cannot sweep successor");
+        assert!(t.existing(k).is_some());
+        assert!(t.remove_if(k, &second));
+        assert!(t.existing(k).is_none());
+    }
+
+    #[test]
+    fn lock_gen_nonces_are_unique() {
+        let a = next_lock_gen();
+        let b = next_lock_gen();
+        assert_ne!(a, b);
+        assert!(a >= 1 && b >= 1, "generation 0 is reserved for raw cells");
     }
 }

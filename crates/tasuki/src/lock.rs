@@ -17,7 +17,7 @@ use solero_sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use solero_obs::{EventKind, LockEvent};
-use solero_runtime::osmonitor::{MonitorTable, OsMonitor};
+use solero_runtime::osmonitor::{next_lock_gen, MonitorKey, MonitorTable, OsMonitor};
 use solero_runtime::spin::{Probe, SpinConfig};
 use solero_runtime::stats::LockStats;
 use solero_runtime::thread::ThreadId;
@@ -46,6 +46,9 @@ pub struct TasukiLock {
     word: AtomicU64,
     spin: SpinConfig,
     stats: LockStats,
+    /// Process-unique generation nonce; paired with the word address to
+    /// key the monitor table, so address reuse never aliases monitors.
+    gen: u64,
 }
 
 impl Default for TasukiLock {
@@ -79,6 +82,7 @@ impl TasukiLock {
             word: AtomicU64::new(0),
             spin,
             stats: LockStats::default(),
+            gen: next_lock_gen(),
         }
     }
 
@@ -98,7 +102,9 @@ impl TasukiLock {
     pub fn is_locked(&self) -> bool {
         let w = ConvWord(self.word.load(Ordering::Acquire));
         if w.is_inflated() {
-            self.monitor().is_owned()
+            // Lookup-only: an absent entry means a deflation is mid-
+            // publish, and a fresh monitor would be unowned anyway.
+            self.monitor_existing().is_some_and(|m| m.is_owned())
         } else {
             w.is_held_flat()
         }
@@ -113,7 +119,7 @@ impl TasukiLock {
     pub fn holds(&self, tid: ThreadId) -> bool {
         let w = ConvWord(self.word.load(Ordering::Acquire));
         if w.is_inflated() {
-            self.monitor().owned_by(tid)
+            self.monitor_existing().is_some_and(|m| m.owned_by(tid))
         } else {
             w.tid() == Some(tid)
         }
@@ -129,12 +135,34 @@ impl TasukiLock {
         ConvWord(self.word.load(Ordering::Acquire))
     }
 
-    fn monitor_key(&self) -> usize {
-        &self.word as *const _ as usize
+    /// Identity of this lock in the global monitor table: word address
+    /// plus the construction-time generation nonce. Public so table-
+    /// hygiene tests can observe residency per lock.
+    pub fn monitor_key(&self) -> MonitorKey {
+        MonitorKey::new(&self.word as *const _ as usize, self.gen)
     }
 
+    /// True if the global monitor table currently holds an entry for
+    /// this lock (inflated, or a narrow race window).
+    pub fn monitor_resident(&self) -> bool {
+        MonitorTable::global().existing(self.monitor_key()).is_some()
+    }
+
+    #[inline]
+    fn obs_id(&self) -> u64 {
+        self.monitor_key().addr as u64
+    }
+
+    /// Get-or-create resolution; only held-lock paths (inflation of a
+    /// held word, wait re-entry) may call this.
     fn monitor(&self) -> std::sync::Arc<OsMonitor> {
         MonitorTable::global().monitor_for(self.monitor_key())
+    }
+
+    /// Lookup-only resolution for reactive paths; `None` means the lock
+    /// is not inflated and the caller must fall back to the word.
+    fn monitor_existing(&self) -> Option<std::sync::Arc<OsMonitor>> {
+        MonitorTable::global().existing(self.monitor_key())
     }
 
     /// Acquires the lock on behalf of `tid` (explicit form used by the
@@ -151,12 +179,12 @@ impl TasukiLock {
         {
             self.stats.write_fast.fetch_add(1, Ordering::Relaxed);
             solero_obs::emit(|| {
-                LockEvent::now(self.monitor_key() as u64, EventKind::WriteAcquire)
+                LockEvent::now(self.obs_id(), EventKind::WriteAcquire)
             });
             return;
         }
         self.slow_enter(tid);
-        solero_obs::emit(|| LockEvent::now(self.monitor_key() as u64, EventKind::WriteAcquire));
+        solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::WriteAcquire));
     }
 
     /// Acquires the lock for a section known to be read-only.
@@ -173,12 +201,12 @@ impl TasukiLock {
                 .is_ok()
         {
             solero_obs::emit(|| {
-                LockEvent::now(self.monitor_key() as u64, EventKind::ReadAcquire)
+                LockEvent::now(self.obs_id(), EventKind::ReadAcquire)
             });
             return;
         }
         self.slow_enter(tid);
-        solero_obs::emit(|| LockEvent::now(self.monitor_key() as u64, EventKind::ReadAcquire));
+        solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::ReadAcquire));
     }
 
     /// Releases one level of the lock on behalf of `tid`.
@@ -187,7 +215,7 @@ impl TasukiLock {
     ///
     /// Panics (in debug builds) if `tid` does not hold the lock.
     pub fn exit(&self, tid: ThreadId) {
-        solero_obs::emit(|| LockEvent::now(self.monitor_key() as u64, EventKind::Release));
+        solero_obs::emit(|| LockEvent::now(self.obs_id(), EventKind::Release));
         // Figure 2, lines 13–17.
         let v = ConvWord(self.word.load(Ordering::Relaxed));
         if v.fast_releasable() {
@@ -267,10 +295,14 @@ impl TasukiLock {
     /// inflated (it may have deflated while we blocked). Returns `false`
     /// if the caller must retry from the top.
     fn enter_fat(&self, tid: ThreadId) -> bool {
-        let m = self.monitor();
+        let Some(m) = self.monitor_existing() else {
+            // Inflated word but no entry: a deflater pruned the binding
+            // and is about to publish the thin word. Retry.
+            return false;
+        };
         m.enter(tid);
         let v = ConvWord(self.word.load(Ordering::Acquire));
-        if v.is_inflated() {
+        if v.monitor_id() == Some(m.id()) {
             self.stats.monitor_enters.fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -284,14 +316,27 @@ impl TasukiLock {
     /// the word free inflates the lock and owns it. Returns `false` if
     /// the caller must retry from the top.
     fn enter_via_monitor(&self, tid: ThreadId) -> bool {
-        let m = self.monitor();
+        let key = self.monitor_key();
+        let table = MonitorTable::global();
+        let m = table.monitor_for(key);
         m.enter(tid);
         loop {
+            if !table.is_current(key, &m) {
+                // Deflated (and pruned) while we blocked, or re-inflated
+                // onto a fresh monitor: this one is an orphan.
+                m.exit(tid);
+                return false;
+            }
             let v = ConvWord(self.word.load(Ordering::Acquire));
             if v.is_inflated() {
-                // Someone else inflated; we already own the monitor.
-                self.stats.monitor_enters.fetch_add(1, Ordering::Relaxed);
-                return true;
+                if v.monitor_id() == Some(m.id()) {
+                    // Someone else inflated; we already own the monitor.
+                    self.stats.monitor_enters.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                // Stale inflated word this monitor never had.
+                m.exit(tid);
+                return false;
             }
             if !v.is_held_flat() {
                 // Free (possibly with a stale FLC bit): inflate and own.
@@ -333,7 +378,11 @@ impl TasukiLock {
             assert_eq!(v.tid(), Some(tid), "wait without holding the lock");
             self.inflate_held(tid, v);
         }
-        let m = self.monitor();
+        // The entry must exist: either we just inflated, or the word
+        // was already inflated and we hold it fat (blocking deflation).
+        let m = self
+            .monitor_existing()
+            .expect("wait without holding the lock");
         assert!(m.owned_by(tid), "wait without holding the lock");
         m.wait(tid);
     }
@@ -346,7 +395,11 @@ impl TasukiLock {
     /// Panics if `tid` does not hold the lock.
     pub fn notify_all(&self, tid: ThreadId) {
         assert!(self.holds(tid), "notify without holding the lock");
-        self.monitor().notify_all();
+        // Waiters exist only while inflated; notify on a thin lock is a
+        // no-op and must not plant a table entry.
+        if let Some(m) = self.monitor_existing() {
+            m.notify_all();
+        }
     }
 
     /// Java-style `Object.notify()`: wakes one waiting thread.
@@ -356,7 +409,9 @@ impl TasukiLock {
     /// Panics if `tid` does not hold the lock.
     pub fn notify_one(&self, tid: ThreadId) {
         assert!(self.holds(tid), "notify without holding the lock");
-        self.monitor().notify_one();
+        if let Some(m) = self.monitor_existing() {
+            m.notify_one();
+        }
     }
 
     /// Inflates while `tid` holds the flat lock with saturated recursion,
@@ -384,19 +439,34 @@ impl TasukiLock {
             return;
         }
         // FLC set: release under the monitor and wake contenders.
+        // Lookup-only: the contender that set the bit tabled the entry;
+        // if it is gone nobody is parked and a plain store suffices.
         debug_assert!(v.has_flc());
-        let m = self.monitor();
-        m.enter(tid);
-        self.word.store(0, Ordering::Release);
-        m.notify_all();
-        m.exit(tid);
+        match self.monitor_existing() {
+            Some(m) => {
+                m.enter(tid);
+                self.word.store(0, Ordering::Release);
+                m.notify_all();
+                m.exit(tid);
+            }
+            None => self.word.store(0, Ordering::Release),
+        }
     }
 
     fn exit_fat(&self, tid: ThreadId) {
-        let m = self.monitor();
+        let key = self.monitor_key();
+        let table = MonitorTable::global();
+        let m = table
+            .existing(key)
+            .expect("fat owner's monitor must be tabled");
         debug_assert!(m.owned_by(tid), "fat release by non-owner");
         if m.depth(tid) == 1 && m.idle_for_deflation() {
             // Tasuki deflation: uncontended fat locks revert to thin.
+            // Prune the table entry *first* so a racing contender can
+            // never claim through (or re-use) the retired binding, then
+            // publish the thin word.
+            let removed = table.remove_if(key, &m);
+            debug_assert!(removed, "deflater's binding must still be current");
             self.word.store(0, Ordering::Release);
             self.stats.deflations.fetch_add(1, Ordering::Relaxed);
             m.notify_all();

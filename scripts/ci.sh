@@ -141,6 +141,22 @@ SOLERO_MC_SEED=0x5EED5E01 SOLERO_MC_BUDGET=20000 RUST_BACKTRACE=0 \
     -- --nocapture --test-threads=1 \
     | grep -E "mc\[|killed|test result"
 
+# Budgeted compact-monitor pass: the compact word's inflate → deflate →
+# re-inflate handoff drained three ways (exhaustive DFS under an elided
+# reader, DPOR across a re-inflation cycle, DPOR under TSO store
+# buffers aimed at the deflater's displaced-word store) plus the exact
+# in-word counter law, with SOLERO_MC_BUDGET bounding each search. The
+# uncapped completeness run already happened in the main mc step above;
+# this pins the budget knob and the replay path for the newest protocol
+# the same way the seqlock and store steps do.
+echo "== tier-1: mc compact monitor handoff (budgeted) =="
+SOLERO_MC_SEED=0x5EEDC03A SOLERO_MC_BUDGET=20000 RUST_BACKTRACE=0 \
+    RUSTFLAGS="--cfg solero_mc" CARGO_TARGET_DIR=target/mc \
+    cargo test -q --offline -p solero-mc \
+    --test compact_mc \
+    -- --nocapture --test-threads=1 \
+    | grep -E "mc\[|test result"
+
 # Replay the concurrency stress and property suites under a pinned seed
 # matrix: different roots exercise different schedules/cases, and every
 # one of them is reproducible by exporting the printed seed.
@@ -203,5 +219,15 @@ echo "== tier-1: seqlock inline + fallback storm smoke (quick) =="
 cargo run -q --offline -p solero-bench --bin bench_seqlock -- \
     --quick --out results/BENCH_seqlock_quick.json 2> /dev/null
 test -s results/BENCH_seqlock_quick.json
+
+# Compact-monitor footprint smoke (full-size run is checked in as
+# BENCH_compact.json): the quick run proves the 8-byte claim end to
+# end — the bin itself fails if per-object lock overhead exceeds the
+# one-word budget or the monitor table is non-empty after the
+# quiescent drain.
+echo "== tier-1: compact monitor footprint smoke (quick) =="
+cargo run -q --offline -p solero-bench --bin bench_compact -- \
+    --quick --out results/BENCH_compact_quick.json 2> /dev/null
+test -s results/BENCH_compact_quick.json
 
 echo "== tier-1 green =="

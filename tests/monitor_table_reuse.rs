@@ -1,0 +1,173 @@
+//! Monitor-table lifecycle regressions: the leak and the aliasing bug.
+//!
+//! Two historical defects this file pins down:
+//!
+//! * **Leak** — deflation (and lock teardown) must *remove* the
+//!   key→monitor binding from the global [`MonitorTable`], not just
+//!   republish the thin word. Before the fix, every inflate/deflate
+//!   cycle of a fresh lock left a zombie `Arc<OsMonitor>` behind, so a
+//!   program churning short-lived locks grew the table without bound.
+//! * **Aliasing** — keying the table by raw word address let a new lock
+//!   allocated at a reused address *adopt the previous lock's monitor*
+//!   (wrong wait-set, wrong displaced counter). Keys now carry a
+//!   generation — a per-lock nonce for standalone locks, the allocation
+//!   generation for heap slots — so reuse always starts fresh.
+//!
+//! Table-size assertions use slack bounds, not exact equality: the
+//! tests in this binary may run in parallel and each plants transient
+//! entries of its own.
+
+use solero::{CompactSpace, Fault, SoleroLock};
+use solero_heap::{ClassId, Heap};
+use solero_runtime::osmonitor::{MonitorKey, MonitorTable};
+
+/// Forces inflation via recursion saturation: nested reentrant write
+/// sections past `SOLERO_RECURSION_MAX` inflate deterministically with
+/// no second thread, and the final exit deflates.
+fn nest(lock: &SoleroLock, depth: usize, hit_fat: &mut bool) {
+    if depth == 0 {
+        *hit_fat |= lock.is_inflated();
+        return;
+    }
+    lock.write(|| nest(lock, depth - 1, hit_fat));
+}
+
+/// Comfortably past `SOLERO_RECURSION_MAX` (31).
+const NEST_DEPTH: usize = 40;
+
+#[test]
+fn inflate_deflate_cycles_leave_no_entry() {
+    let lock = SoleroLock::new();
+    for round in 0..64 {
+        let mut hit_fat = false;
+        nest(&lock, NEST_DEPTH, &mut hit_fat);
+        assert!(hit_fat, "round {round}: recursion saturation must inflate");
+        assert!(!lock.is_inflated(), "round {round}: final exit deflates");
+        assert!(
+            !lock.monitor_resident(),
+            "round {round}: deflation must prune the table entry"
+        );
+    }
+    let s = lock.stats().snapshot();
+    assert!(s.inflations >= 64, "{s}");
+    assert!(s.deflations >= 64, "{s}");
+    assert!(s.deflations <= s.inflations, "{s}");
+}
+
+#[test]
+fn address_reuse_churn_keeps_the_table_flat() {
+    // The 512-iteration leak regression: every iteration creates a
+    // lock, inflates it, deflates it, and drops it. The allocator is
+    // free (and likely) to hand successive boxes the same address; with
+    // the leak, the table grew by one zombie per iteration — here it
+    // must stay flat.
+    let table = MonitorTable::global();
+    let before = table.len();
+    let mut keys = Vec::new();
+    for round in 0..512 {
+        let lock = Box::new(SoleroLock::new());
+        let key = lock.monitor_key();
+        let mut hit_fat = false;
+        nest(&lock, NEST_DEPTH, &mut hit_fat);
+        assert!(hit_fat, "round {round}: recursion saturation must inflate");
+        assert!(
+            !lock.monitor_resident(),
+            "round {round}: deflated lock must not be tabled"
+        );
+        drop(lock);
+        assert!(
+            table.existing(key).is_none(),
+            "round {round}: dropped lock must not be tabled"
+        );
+        keys.push(key);
+    }
+    // Generation nonces make every incarnation a distinct key even when
+    // the allocator reuses the address.
+    let distinct: std::collections::HashSet<_> = keys.iter().copied().collect();
+    assert_eq!(distinct.len(), 512, "every lock incarnation gets a fresh key");
+    let after = table.len();
+    assert!(
+        after <= before + 8,
+        "monitor table leaked across churn: {before} -> {after}"
+    );
+}
+
+#[test]
+fn reused_address_never_adopts_a_stale_monitor() {
+    // Aliasing regression, constructed deterministically: plant a
+    // monitor under the *same address* as a live lock but a different
+    // generation — exactly what a dead predecessor at a reused address
+    // leaves behind if teardown is skipped (e.g. a leaked box).
+    let lock = SoleroLock::new();
+    let key = lock.monitor_key();
+    let stale_key = MonitorKey::new(key.addr, key.gen.wrapping_add(0x5EED));
+    assert_ne!(key, stale_key);
+    let table = MonitorTable::global();
+    let stale = table.monitor_for(stale_key);
+
+    // The planted entry must be invisible to the new lock...
+    assert!(
+        !lock.monitor_resident(),
+        "a stale same-address entry must not alias the new lock"
+    );
+    // ...and inflation must mint a fresh monitor, not adopt the relic.
+    let mut hit_fat = false;
+    nest(&lock, NEST_DEPTH, &mut hit_fat);
+    assert!(hit_fat, "recursion saturation must inflate");
+    assert!(!lock.monitor_resident(), "deflated again after the nest");
+    assert!(
+        table.is_current(stale_key, &stale),
+        "the relic belongs to its own key and must be untouched"
+    );
+    table.remove(stale_key); // test hygiene
+}
+
+#[test]
+fn heap_slot_recycling_gets_a_fresh_key_and_monitor() {
+    // The whole-stack aliasing scenario the generation key exists for:
+    // an in-object compact lock inflates, the object dies with a
+    // lingering table entry, the storage is recycled — the successor
+    // object's lock must start thin and unaliased.
+    const NODE: ClassId = ClassId::new(9);
+    let heap = Heap::new(256);
+    let space = CompactSpace::new();
+    let table = MonitorTable::global();
+
+    let obj = heap.alloc(NODE, 2).unwrap();
+    let key1 = heap.lock_key(obj, 0).unwrap();
+    {
+        let r = space.lock(heap.slot_atomic(obj, 0).unwrap(), key1);
+        // Drive the compact lock fat via reentrant write sections.
+        let tid = solero_runtime::thread::ThreadId::current();
+        for _ in 0..NEST_DEPTH {
+            r.enter_write(tid);
+        }
+        assert!(r.is_inflated());
+        assert!(r.monitor_resident());
+        for _ in 0..NEST_DEPTH {
+            r.exit_write(tid);
+        }
+        assert!(!r.monitor_resident(), "deflation pruned the entry");
+    }
+    // Simulate the lingering-entry hazard explicitly.
+    let zombie = table.monitor_for(key1);
+    heap.free(obj);
+
+    let obj2 = heap.alloc(NODE, 2).unwrap();
+    assert_eq!(obj2.raw(), obj.raw(), "free list recycles the storage");
+    let key2 = heap.lock_key(obj2, 0).unwrap();
+    assert_eq!(key1.addr, key2.addr, "same slot, same address");
+    assert_ne!(key1, key2, "recycling bumps the generation");
+
+    let r2 = space.lock(heap.slot_atomic(obj2, 0).unwrap(), key2);
+    assert!(
+        !r2.monitor_resident(),
+        "successor lock must not see the zombie entry"
+    );
+    let got = r2.read_only(|| Ok::<_, Fault>(42)).unwrap();
+    assert_eq!(got, 42, "zombie entry must not poison elided reads");
+    assert!(table.is_current(key1, &zombie), "zombie still on its key");
+    // Freeing storage with a lingering entry is what `detach` is for.
+    space.detach(key1);
+    assert!(table.existing(key1).is_none());
+}

@@ -13,6 +13,8 @@
 //!   (`abort_inflation > 0 ⇒ inflations > 0`) — note a single hostile
 //!   writer CAN inflate the lock (reader spin exhaustion enters via the
 //!   monitor), so the converse is deliberately not asserted;
+//! * a lock deflates at most once per inflation
+//!   (`deflations ≤ inflations`);
 //! * a quiet lock (no writers) never aborts at all.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,6 +120,10 @@ fn taxonomy_invariants_hold_under_hostile_writers() {
                 assert!(s.inflations > 0, "[{name}] inflation aborts without inflation: {s}");
             }
             assert!(
+                s.deflations <= s.inflations,
+                "[{name}] a lock deflates at most once per inflation: {s}"
+            );
+            assert!(
                 s.elision_success + s.fallback_acquires + s.policy_skips <= s.read_enters,
                 "[{name}] a section completes at most one way: {s}"
             );
@@ -178,6 +184,10 @@ fn a_held_lock_forces_entry_aborts() {
     if s.abort_inflation > 0 {
         assert!(s.inflations > 0, "{s}");
     }
+    assert!(
+        s.deflations <= s.inflations,
+        "a lock deflates at most once per inflation: {s}"
+    );
 }
 
 #[test]
